@@ -1,0 +1,90 @@
+"""E4 — Theorem 6: f-AME is t-disruptable against the adversary gallery.
+
+For every adversary strategy and several seeds, the minimum vertex cover
+of the failed pairs must never exceed ``t``.  The table reports the worst
+observed disruptability per strategy — the paper's optimal-resilience
+claim regenerated empirically.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    NullAdversary,
+    RandomJammer,
+    ReactiveJammer,
+    ScheduleAwareJammer,
+    SpoofingAdversary,
+    SweepJammer,
+)
+from repro.fame import run_fame
+from repro.rng import RngRegistry
+
+from conftest import make_network, report
+
+GALLERY = {
+    "null": lambda r: NullAdversary(),
+    "random-jam": RandomJammer,
+    "sweep-jam": lambda r: SweepJammer(),
+    "reactive-jam": ReactiveJammer,
+    "spoofer": SpoofingAdversary,
+    "schedule-prefix": lambda r: ScheduleAwareJammer(r, policy="prefix"),
+    "schedule-suffix": lambda r: ScheduleAwareJammer(r, policy="suffix"),
+    "schedule-random": lambda r: ScheduleAwareJammer(r, policy="random"),
+    "schedule-victims": lambda r: ScheduleAwareJammer(
+        r, policy="victims", victims=[0, 1]
+    ),
+}
+
+
+def workload(t):
+    n = 20 if t == 1 else 40
+    edges = [(i, i + n // 2) for i in range(6)]
+    edges += [(0, n // 2 + 7), (1, n // 2 + 8)]  # shared sources
+    return n, edges
+
+
+def run_one(name, t, seed):
+    n, edges = workload(t)
+    net = make_network(
+        n, t + 1, t, adversary=GALLERY[name](random.Random(seed))
+    )
+    return run_fame(net, edges, rng=RngRegistry(seed=seed))
+
+
+@pytest.mark.parametrize("name", sorted(GALLERY))
+@pytest.mark.parametrize("t", [1, 2])
+def test_gallery_t_disruptable(benchmark, name, t):
+    res = benchmark.pedantic(run_one, args=(name, t, 0), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"adversary": name, "t": t, "failed": len(res.failed),
+         "disruptability": res.disruptability()}
+    )
+    assert res.is_d_disruptable(t), (name, res.failed)
+
+
+def _e4_table():
+    rows = []
+    for t in (1, 2):
+        for name in sorted(GALLERY):
+            worst = 0
+            worst_failed = 0
+            for seed in range(5):
+                res = run_one(name, t, seed)
+                worst = max(worst, res.disruptability())
+                worst_failed = max(worst_failed, len(res.failed))
+                assert res.is_d_disruptable(t), (name, t, seed)
+            rows.append([name, t, worst_failed, worst, t])
+    report(
+        "E4 / Theorem 6 — worst disruptability over 5 seeds per adversary",
+        ["adversary", "t", "max failed pairs", "max cover", "bound (t)"],
+        rows,
+    )
+
+
+def test_e4_table(benchmark):
+    """Benchmark wrapper so the table regenerates under --benchmark-only."""
+    benchmark.pedantic(_e4_table, rounds=1, iterations=1)

@@ -1,0 +1,113 @@
+"""E3 — Figure 3: f-AME total time across the three channel regimes.
+
+Regenerates the paper's complexity table by running the same workload at
+``C = t+1``, ``C = 2t`` and ``C = 2t^2`` (with the corresponding regime)
+and reporting measured radio rounds next to the predicted shapes
+
+    base     O(|E| · t^2 · log n)
+    double   O(|E| · log n)
+    squared  O(|E| · log^2 n / t)
+
+The assertion is on the *ordering and gaps*, not absolute constants.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import ScheduleAwareJammer
+from repro.fame import Regime, make_config, predicted_rounds, run_fame
+from repro.rng import RngRegistry
+
+from conftest import make_network, report
+
+T = 2
+N = 120
+EDGES = [(i, i + 50) for i in range(16)]
+
+REGIME_CHANNELS = {
+    Regime.BASE: T + 1,
+    Regime.DOUBLE: 2 * T,
+    Regime.SQUARED: 2 * T * T * 2,  # C = 4t^2 => C/t = 8 proposal channels
+}
+
+
+def run_regime(regime, seed=0):
+    channels = REGIME_CHANNELS[regime]
+    net = make_network(
+        N, channels, T,
+        adversary=ScheduleAwareJammer(random.Random(seed), policy="prefix"),
+    )
+    cfg = make_config(N, channels, T, regime=regime)
+    res = run_fame(net, EDGES, rng=RngRegistry(seed=seed), config=cfg)
+    return res
+
+
+@pytest.mark.parametrize("regime", list(Regime), ids=lambda r: r.value)
+def test_regime_cost(benchmark, regime):
+    res = benchmark.pedantic(run_regime, args=(regime,), rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {"regime": regime.value, "rounds": res.rounds, "moves": res.moves,
+         "disruptability": res.disruptability()}
+    )
+    assert res.is_d_disruptable(T)
+
+
+def _e3_figure3_table():
+    rows = []
+    measured = {}
+    for regime in Regime:
+        res = run_regime(regime, seed=1)
+        cfg = res.config
+        predicted = predicted_rounds(cfg, len(EDGES))
+        measured[regime] = res.rounds
+        rows.append([
+            regime.value, cfg.channels, cfg.proposal_size, len(EDGES),
+            res.moves, res.rounds, round(predicted, 0),
+            round(res.rounds / predicted, 2), res.disruptability(),
+        ])
+    report(
+        "E3 / Figure 3 — f-AME cost by channel regime "
+        f"(n={N}, t={T}, |E|={len(EDGES)})",
+        ["regime", "C", "proposal", "|E|", "moves", "rounds",
+         "predicted", "ratio", "disrupt"],
+        rows,
+    )
+    # Figure 3's ordering: base is the most expensive by a wide margin.
+    assert measured[Regime.BASE] > 2 * measured[Regime.DOUBLE]
+    assert measured[Regime.BASE] > 2 * measured[Regime.SQUARED]
+
+
+def _e3_scaling_in_edges():
+    # Every row of Figure 3 is linear in |E| — verify for the base regime.
+    rows = []
+    points = []
+    for count in (6, 12, 24):
+        edges = [(i, i + 50) for i in range(count)]
+        net = make_network(
+            N, T + 1, T,
+            adversary=ScheduleAwareJammer(random.Random(2), policy="prefix"),
+        )
+        res = run_fame(net, edges, rng=RngRegistry(seed=2))
+        rows.append([count, res.moves, res.rounds,
+                     round(res.rounds / count, 1)])
+        points.append((count, res.rounds))
+    report(
+        "E3b — base-regime rounds vs |E| (linear shape)",
+        ["|E|", "moves", "rounds", "rounds/|E|"],
+        rows,
+    )
+    per_edge = [rounds / count for count, rounds in points]
+    assert max(per_edge) / min(per_edge) < 2.0
+
+
+def test_e3_scaling_in_edges(benchmark):
+    """Benchmark wrapper so the table regenerates under --benchmark-only."""
+    benchmark.pedantic(_e3_scaling_in_edges, rounds=1, iterations=1)
+
+
+def test_e3_figure3_table(benchmark):
+    """Benchmark wrapper so the table regenerates under --benchmark-only."""
+    benchmark.pedantic(_e3_figure3_table, rounds=1, iterations=1)

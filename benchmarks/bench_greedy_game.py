@@ -1,0 +1,114 @@
+"""E1 — Theorem 4: greedy-removal finishes in O(|E|) moves.
+
+Regenerates the claim by playing the abstract game on several graph
+families against the strongest referee and checking that moves/|E| stays
+bounded by the theorem's constant 3 (|E| removals + at most 2|E| stars),
+and roughly flat as |E| grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.game.engine import StarredEdgeRemovalGame
+from repro.game.graph import GameGraph
+from repro.game.referees import AdversarialReferee, SingleGrantReferee
+
+from conftest import report
+
+
+def complete(n):
+    return [(v, w) for v in range(n) for w in range(n) if v != w]
+
+
+def star(center, leaves):
+    return [(center, leaf) for leaf in range(1, leaves + 1)]
+
+
+def disjoint(count):
+    return [(2 * i, 2 * i + 1) for i in range(count)]
+
+
+def grid(rows, cols):
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return edges
+
+
+FAMILIES = {
+    "complete-8": complete(8),
+    "complete-12": complete(12),
+    "disjoint-24": disjoint(24),
+    "disjoint-48": disjoint(48),
+    "grid-6x6": grid(6, 6),
+    "grid-8x8": grid(8, 8),
+}
+
+
+def play(edges, t, referee):
+    graph = GameGraph.from_pairs(edges, vertices=range(200))
+    game = StarredEdgeRemovalGame(graph, t)
+    return game.play(referee)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("t", [1, 2, 4])
+def test_moves_linear_in_edges(benchmark, family, t):
+    edges = FAMILIES[family]
+    result = benchmark.pedantic(
+        play, args=(edges, t, AdversarialReferee()), rounds=3, iterations=1
+    )
+    ratio = result.moves / max(1, len(edges))
+    benchmark.extra_info.update(
+        {"family": family, "t": t, "edges": len(edges),
+         "moves": result.moves, "moves_per_edge": round(ratio, 3),
+         "final_cover": result.cover_size}
+    )
+    assert result.cover_size <= t
+    assert result.moves <= 3 * len(edges)
+
+
+def _e1_table():
+    """Print the E1 table: moves/|E| flat across sizes and referees."""
+    rows = []
+    exponents = {}
+    for t in (1, 2):
+        for referee_name, referee_fn in (
+            ("adversarial", AdversarialReferee),
+            ("single-grant", lambda: SingleGrantReferee("last")),
+        ):
+            sizes, moves = [], []
+            for n in (6, 8, 10, 12):
+                edges = complete(n)
+                result = play(edges, t, referee_fn())
+                rows.append(
+                    [f"complete-{n}", t, referee_name, len(edges),
+                     result.moves, round(result.moves / len(edges), 3),
+                     result.cover_size]
+                )
+                sizes.append(len(edges))
+                moves.append(result.moves)
+            fit = fit_power_law(sizes, moves)
+            exponents[(t, referee_name)] = fit.exponent
+    report(
+        "E1 / Theorem 4 — greedy-removal moves vs |E|",
+        ["graph", "t", "referee", "|E|", "moves", "moves/|E|", "cover"],
+        rows,
+    )
+    print("power-law exponents (theory: 1.0):",
+          {k: round(v, 3) for k, v in exponents.items()})
+    # Shape check: growth is linear in |E| (exponent ~1), never superlinear.
+    for exponent in exponents.values():
+        assert 0.7 < exponent < 1.3
+
+
+def test_e1_table(benchmark):
+    """Benchmark wrapper so the table regenerates under --benchmark-only."""
+    benchmark.pedantic(_e1_table, rounds=1, iterations=1)

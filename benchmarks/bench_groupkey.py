@@ -1,0 +1,82 @@
+"""E7 — Section 6: group key in O(n t^3 log n) rounds, >= n - t holders.
+
+Sweeps ``n`` at fixed ``t`` and checks that (a) at least ``n - t`` nodes
+adopt the canonical group key under jamming, (b) the total cost grows
+linearly in ``n`` (the dominant Part 1), and (c) Part 1 dominates Parts
+2-3 as the analysis says.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import RandomJammer
+from repro.analysis.complexity import fit_power_law
+from repro.crypto.dh import TEST_GROUP_64
+from repro.groupkey import establish_group_key
+from repro.rng import RngRegistry
+
+from conftest import make_network, report
+
+
+def run_one(n, t, seed):
+    net = make_network(
+        n, t + 1, t, adversary=RandomJammer(random.Random(seed))
+    )
+    return establish_group_key(
+        net, RngRegistry(seed=seed), group=TEST_GROUP_64
+    )
+
+
+@pytest.mark.parametrize("n", [17, 24, 32])
+def test_groupkey_n_sweep(benchmark, n):
+    res = benchmark.pedantic(run_one, args=(n, 1, n), rounds=1, iterations=1)
+    benchmark.extra_info.update(res.summary())
+    assert len(res.holders()) >= n - 1
+
+
+def test_groupkey_t2(benchmark):
+    res = benchmark.pedantic(run_one, args=(40, 2, 7), rounds=1, iterations=1)
+    benchmark.extra_info.update(res.summary())
+    assert len(res.holders()) >= 40 - 2
+
+
+def _e7_table():
+    rows, ns, totals = [], [], []
+    for n in (17, 24, 32, 48):
+        res = run_one(n, 1, seed=n)
+        s = res.summary()
+        rows.append([
+            n, 1, s["pairwise_established"], s["completed_leaders"],
+            s["holders"], s["part1_rounds"], s["part2_rounds"],
+            s["part3_rounds"], s["total_rounds"],
+        ])
+        ns.append(n)
+        totals.append(s["total_rounds"])
+        assert s["holders"] >= n - 1
+        # Part 1 (f-AME over the spanner) dominates, as the paper claims.
+        assert s["part1_rounds"] > s["part2_rounds"] + s["part3_rounds"]
+    res_t2 = run_one(40, 2, seed=99)
+    s = res_t2.summary()
+    rows.append([
+        40, 2, s["pairwise_established"], s["completed_leaders"],
+        s["holders"], s["part1_rounds"], s["part2_rounds"],
+        s["part3_rounds"], s["total_rounds"],
+    ])
+    assert s["holders"] >= 38
+    report(
+        "E7 / Section 6 — group-key establishment under random jamming",
+        ["n", "t", "pair keys", "leaders done", "holders",
+         "part1", "part2", "part3", "total rounds"],
+        rows,
+    )
+    fit = fit_power_law(ns, totals)
+    print(f"total-rounds exponent vs n (theory 1.0): {fit.exponent:.3f}")
+    assert 0.7 < fit.exponent < 1.4
+
+
+def test_e7_table(benchmark):
+    """Benchmark wrapper so the table regenerates under --benchmark-only."""
+    benchmark.pedantic(_e7_table, rounds=1, iterations=1)

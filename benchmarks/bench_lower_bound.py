@@ -1,0 +1,117 @@
+"""E5 — Theorem 2: no protocol beats t-disruptability; spoofing wins
+against unscheduled randomness.
+
+The simulating adversary runs a faithful copy of the sender with fake
+content.  Against the purely randomized exchange strawman the receiver
+accepts the forgery about half the time it hears anything (the executions
+are equiprobable); against f-AME the same adversary never lands a forgery,
+because the transmission schedule leaves spoofs nowhere to go.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import SimulatingAdversary
+from repro.baselines import run_randomized_exchange
+from repro.baselines.randomized_exchange import exchange_frame
+from repro.fame import run_fame
+from repro.radio.messages import Transmission
+from repro.rng import RngRegistry
+
+from conftest import make_network, report
+
+PAIR = (0, 10)
+REAL = ("real-msg",)
+FAKE = ("fake-msg",)
+
+
+def simulator(view, rng):
+    return Transmission(
+        rng.randrange(view.channels), exchange_frame(*PAIR, FAKE)
+    )
+
+
+def strawman_trial(seed):
+    net = make_network(
+        20, 2, 1,
+        adversary=SimulatingAdversary(random.Random(seed), [simulator]),
+    )
+    res = run_randomized_exchange(
+        net, [PAIR], {PAIR: REAL}, rng=RngRegistry(seed=seed)
+    )
+    got = res.accepted.get(PAIR)
+    return got
+
+
+def fame_trial(seed):
+    net = make_network(
+        20, 2, 1,
+        adversary=SimulatingAdversary(random.Random(seed), [simulator]),
+    )
+    res = run_fame(
+        net, [PAIR, (2, 3), (4, 5)],
+        messages={PAIR: REAL, (2, 3): "x", (4, 5): "y"},
+        rng=RngRegistry(seed=seed),
+    )
+    return res.outcomes[PAIR]
+
+
+def test_strawman_spoof_rate(benchmark):
+    def run_many():
+        outcomes = [strawman_trial(seed) for seed in range(60)]
+        spoofs = sum(1 for o in outcomes if o == FAKE)
+        delivered = sum(1 for o in outcomes if o is not None)
+        return spoofs, delivered
+
+    spoofs, delivered = benchmark.pedantic(run_many, rounds=1, iterations=1)
+    benchmark.extra_info.update({"spoofs": spoofs, "delivered": delivered})
+    assert delivered > 30
+    assert spoofs / delivered > 0.2  # theory: ~0.5
+
+
+def test_fame_spoof_rate(benchmark):
+    def run_many():
+        outcomes = [fame_trial(seed) for seed in range(15)]
+        spoofs = sum(
+            1 for o in outcomes if o.success and o.message != REAL
+        )
+        delivered = sum(1 for o in outcomes if o.success)
+        return spoofs, delivered
+
+    spoofs, delivered = benchmark.pedantic(run_many, rounds=1, iterations=1)
+    benchmark.extra_info.update({"spoofs": spoofs, "delivered": delivered})
+    assert spoofs == 0
+
+
+def _e5_table():
+    straw_outcomes = [strawman_trial(seed) for seed in range(60)]
+    straw_delivered = sum(1 for o in straw_outcomes if o is not None)
+    straw_spoofed = sum(1 for o in straw_outcomes if o == FAKE)
+
+    fame_outcomes = [fame_trial(seed) for seed in range(15)]
+    fame_delivered = sum(1 for o in fame_outcomes if o.success)
+    fame_spoofed = sum(
+        1 for o in fame_outcomes if o.success and o.message != REAL
+    )
+    rows = [
+        ["randomized-exchange", len(straw_outcomes), straw_delivered,
+         straw_spoofed,
+         round(straw_spoofed / max(1, straw_delivered), 2), "~0.5"],
+        ["f-AME", len(fame_outcomes), fame_delivered, fame_spoofed,
+         round(fame_spoofed / max(1, fame_delivered), 2), "0.0"],
+    ]
+    report(
+        "E5 / Theorem 2 — spoof acceptance under the simulating adversary",
+        ["protocol", "trials", "delivered", "spoofed", "spoof rate", "theory"],
+        rows,
+    )
+    assert straw_spoofed > 0
+    assert fame_spoofed == 0
+
+
+def test_e5_table(benchmark):
+    """Benchmark wrapper so the table regenerates under --benchmark-only."""
+    benchmark.pedantic(_e5_table, rounds=1, iterations=1)

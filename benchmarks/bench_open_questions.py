@@ -1,0 +1,75 @@
+"""Q2 — restricted listening: the secrecy/reliability tension, measured.
+
+The paper conjectures that information-theoretically secure key agreement
+against a ``t``-channel listener is inherently exponential.  The natural
+share-spray protocol makes the difficulty quantitative: sweeping the
+per-share repetition count, the probability that the *receiver* assembles
+the pad and the probability that the *eavesdropper* does track each other
+almost exactly — both listen on the same number of channels, and nothing
+authenticated exists yet to break the symmetry.  There is no repetition
+count that is simultaneously reliable and secret.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.extensions import (
+    HoppingEavesdropper,
+    RestrictedListeningNetwork,
+    run_share_spray,
+)
+from repro.rng import RngRegistry
+
+from conftest import report
+
+N, C, T = 10, 3, 1
+SHARES = 4
+TRIALS = 40
+
+
+def sweep_point(repetitions):
+    delivered = leaked = 0
+    for seed in range(TRIALS):
+        net = RestrictedListeningNetwork(
+            N, C, T, HoppingEavesdropper(random.Random(seed)),
+            keep_trace=True,
+        )
+        res = run_share_spray(
+            net, 0, 1, RngRegistry(seed=seed),
+            shares=SHARES, repetitions=repetitions,
+        )
+        delivered += res.receiver_has_pad
+        leaked += res.adversary_has_pad
+    return delivered / TRIALS, leaked / TRIALS
+
+
+def _q2_table():
+    rows = []
+    curve = []
+    for repetitions in (1, 2, 4, 8, 16, 32):
+        p_deliver, p_leak = sweep_point(repetitions)
+        rows.append([
+            repetitions, round(p_deliver, 2), round(p_leak, 2),
+            round(p_deliver - p_leak, 2),
+        ])
+        curve.append((p_deliver, p_leak))
+    report(
+        f"Q2 — share-spray over {C} channels, t={T} listener "
+        f"({SHARES} shares, {TRIALS} trials/point)",
+        ["repetitions/share", "P(receiver has pad)", "P(adversary has pad)",
+         "advantage"],
+        rows,
+    )
+    # The tension: delivery and leakage rise together; the receiver's
+    # advantage never becomes substantial at any repetition count.
+    assert all(abs(d - l) < 0.35 for d, l in curve)
+    # Extremes behave as predicted: unreliable when secret...
+    assert curve[0][0] < 0.3
+    # ...and fully leaked when reliable.
+    assert curve[-1][0] > 0.9 and curve[-1][1] > 0.9
+
+
+def test_q2_table(benchmark):
+    """Benchmark wrapper so the table regenerates under --benchmark-only."""
+    benchmark.pedantic(_q2_table, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""E10 — surrogates are what buy optimal resilience.
+
+The paper's second insight (Section 5) and open question Q1 (Section 8):
+without surrogates, the triangle-isolation adversary forces a disruption
+graph of ``t`` edge-disjoint triangles — minimum vertex cover ``2t``.
+f-AME's surrogate machinery reroutes around the isolation and stays at
+``t``.  This ablation regenerates that exact separation for t in {1, 2, 3}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import TriangleIsolationAdversary
+from repro.baselines import run_direct_exchange, run_no_surrogate
+from repro.fame import run_fame
+from repro.rng import RngRegistry
+
+from conftest import make_network, report
+
+
+def triangle_workload(t):
+    triples = [(3 * i, 3 * i + 1, 3 * i + 2) for i in range(t)]
+    edges = [(a, b) for tr in triples for a in tr for b in tr if a != b]
+    edges += [(30 + i, 50 + i) for i in range(6)]
+    return triples, edges
+
+
+def run_all(t, seed=0):
+    triples, edges = triangle_workload(t)
+    n = max(80, 3 * (t + 1) ** 2 + 3 * (t + 1) + 60)
+
+    net_d = make_network(n, t + 1, t, adversary=TriangleIsolationAdversary(triples))
+    direct = run_direct_exchange(net_d, edges, passes=5)
+
+    net_ns = make_network(n, t + 1, t, adversary=TriangleIsolationAdversary(triples))
+    nosur = run_no_surrogate(net_ns, edges, rng=RngRegistry(seed=seed))
+
+    net_f = make_network(n, t + 1, t, adversary=TriangleIsolationAdversary(triples))
+    fame = run_fame(net_f, edges, rng=RngRegistry(seed=seed))
+    return direct, nosur, fame
+
+
+@pytest.mark.parametrize("t", [1, 2, 3])
+def test_ablation(benchmark, t):
+    direct, nosur, fame = benchmark.pedantic(
+        run_all, args=(t,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update({
+        "t": t,
+        "direct_disruptability": direct.disruptability(),
+        "no_surrogate_disruptability": nosur.disruptability(),
+        "fame_disruptability": fame.disruptability(),
+    })
+    assert direct.disruptability() == 2 * t
+    assert nosur.disruptability() == 2 * t
+    assert fame.disruptability() <= t
+
+
+def _e10_table():
+    rows = []
+    for t in (1, 2, 3):
+        direct, nosur, fame = run_all(t, seed=t)
+        rows.append([
+            t, direct.disruptability(), nosur.disruptability(),
+            fame.disruptability(), 2 * t, t,
+        ])
+        assert direct.disruptability() == 2 * t
+        assert nosur.disruptability() == 2 * t
+        assert fame.disruptability() <= t
+    report(
+        "E10 — triangle-isolation attack: surrogate ablation",
+        ["t", "direct exchange", "no-surrogate", "f-AME",
+         "theory (no surrogates)", "theory (f-AME)"],
+        rows,
+    )
+
+
+def test_e10_table(benchmark):
+    """Benchmark wrapper so the table regenerates under --benchmark-only."""
+    benchmark.pedantic(_e10_table, rounds=1, iterations=1)

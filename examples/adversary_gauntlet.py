@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Running f-AME and its ablations through the adversary gauntlet.
+
+Reproduces the paper's core resilience story on one screen:
+
+1. every adversary in the gallery — from blind jammers to the
+   schedule-aware worst case — leaves f-AME's disruption graph with a
+   vertex cover of at most t (Theorem 6);
+2. the triangle-isolation attack forces the surrogate-free baselines to
+   2t, twice f-AME's failures (Section 5's second insight / Section 8 Q1).
+
+Run:  python examples/adversary_gauntlet.py
+"""
+
+import random
+
+from repro import RadioNetwork, RngRegistry, run_fame
+from repro.adversary import (
+    NullAdversary,
+    RandomJammer,
+    ReactiveJammer,
+    ScheduleAwareJammer,
+    SpoofingAdversary,
+    SweepJammer,
+    TriangleIsolationAdversary,
+)
+from repro.baselines import run_direct_exchange, run_no_surrogate
+
+N, C, T = 40, 3, 2
+PAIRS = [(i, i + 20) for i in range(8)] + [(3, 30), (3, 31)]
+
+GALLERY = {
+    "no adversary": lambda r: NullAdversary(),
+    "random jammer": RandomJammer,
+    "sweep jammer": lambda r: SweepJammer(),
+    "reactive jammer": ReactiveJammer,
+    "spoofer": SpoofingAdversary,
+    "schedule-aware (prefix)": lambda r: ScheduleAwareJammer(r, policy="prefix"),
+    "schedule-aware (random)": lambda r: ScheduleAwareJammer(r, policy="random"),
+}
+
+
+def gauntlet() -> None:
+    print(f"f-AME gauntlet: n={N}, C={C}, t={T}, {len(PAIRS)} pairs")
+    print(f"{'adversary':26} {'failed':>6} {'cover':>6}  bound")
+    for name, factory in GALLERY.items():
+        net = RadioNetwork(N, C, T, adversary=factory(random.Random(1)))
+        res = run_fame(net, PAIRS, rng=RngRegistry(seed=5))
+        print(f"{name:26} {len(res.failed):>6} {res.disruptability():>6}"
+              f"  <= {T}")
+        assert res.is_d_disruptable(T)
+
+
+def ablation() -> None:
+    triples = [(0, 1, 2), (3, 4, 5)]
+    edges = [(a, b) for tr in triples for a in tr for b in tr if a != b]
+    edges += [(20 + i, 30 + i) for i in range(4)]
+
+    def fresh_net():
+        return RadioNetwork(
+            N, C, T, adversary=TriangleIsolationAdversary(triples)
+        )
+
+    direct = run_direct_exchange(fresh_net(), edges, passes=5)
+    nosur = run_no_surrogate(fresh_net(), edges, rng=RngRegistry(seed=9))
+    fame = run_fame(fresh_net(), edges, rng=RngRegistry(seed=9))
+
+    print("\ntriangle-isolation attack (t vertex-disjoint triples):")
+    print(f"  direct exchange   cover = {direct.disruptability()}  (theory 2t = {2*T})")
+    print(f"  no-surrogate      cover = {nosur.disruptability()}  (theory 2t = {2*T})")
+    print(f"  f-AME             cover = {fame.disruptability()}  (theory  t = {T})")
+    print("\nsurrogates are what reroute around the isolated triples —")
+    print("without them the adversary doubles the damage.")
+
+
+if __name__ == "__main__":
+    gauntlet()
+    ablation()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: authenticated message exchange under active jamming.
+
+Builds a 20-node, 2-channel radio network where a worst-case adversary
+jams one channel per round (t = 1), and runs f-AME to exchange five
+messages.  The protocol needs no pre-shared secrets: authentication comes
+from the deterministic broadcast schedule, and the adversary can block at
+most a vertex-cover-1 subset of the pairs.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    RadioNetwork,
+    RngRegistry,
+    ScheduleAwareJammer,
+    run_fame,
+)
+
+
+def main() -> None:
+    n, channels, t = 20, 2, 1
+
+    # The strongest adversary the model allows against f-AME: it reads the
+    # public schedule each round and jams t of the t+1 channels in use.
+    adversary = ScheduleAwareJammer(random.Random(7), policy="suffix")
+    network = RadioNetwork(n, channels, t, adversary=adversary)
+
+    pairs = [(0, 1), (2, 3), (4, 5), (1, 6), (7, 8)]
+    messages = {pair: f"hello from {pair[0]} to {pair[1]}" for pair in pairs}
+
+    result = run_fame(
+        network, pairs, messages=messages, rng=RngRegistry(seed=42)
+    )
+
+    print(f"f-AME finished in {result.moves} game moves / "
+          f"{result.rounds} radio rounds\n")
+    for pair, outcome in sorted(result.outcomes.items()):
+        if outcome.success:
+            print(f"  {pair}: delivered {outcome.message!r} "
+                  f"(move {outcome.move})")
+        else:
+            print(f"  {pair}: FAIL (adversary blocked it)")
+
+    print(f"\ndisruptability (min vertex cover of failures): "
+          f"{result.disruptability()}  <=  t = {t}")
+    print(f"adversary transmissions spent: "
+          f"{network.metrics.adversary_transmissions}")
+    print(f"spoofed frames accepted by anyone: "
+          f"{network.metrics.spoofs_delivered} (always 0 in f-AME rounds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A long-lived encrypted group chat over a jammed radio (Section 7).
+
+After the one-time group-key setup, every chat message costs only
+Θ(t log n) radio rounds on a secret channel-hopping pattern.  The example
+runs a short chat among sensors while the adversary jams blindly, then
+demonstrates the service's authentication: a forged frame injected by the
+adversary is rejected by every receiver.
+
+Run:  python examples/secure_group_chat.py
+"""
+
+import random
+
+from repro import RadioNetwork, RngRegistry
+from repro.adversary import RandomJammer, SpoofingAdversary
+from repro.crypto.dh import TEST_GROUP_128
+from repro.radio.messages import Message
+from repro.service import SecureSession
+
+CHAT_SCRIPT = [
+    (2, b"temperature spike on sensor 2"),
+    (5, b"confirm: 31.4C at my position"),
+    (9, b"raising alert level to amber"),
+    (2, b"acknowledged"),
+]
+
+
+def main() -> None:
+    n, channels, t = 18, 2, 1
+    network = RadioNetwork(
+        n, channels, t,
+        adversary=RandomJammer(random.Random(11)),
+        keep_trace=False,
+    )
+
+    print("setting up the secure session (group key + emulated channel)...")
+    session = SecureSession(network, RngRegistry(seed=7), group=TEST_GROUP_128)
+    print(f"  setup cost: {session.stats.setup_rounds} radio rounds, "
+          f"{len(session.members)} members\n")
+
+    for sender, text in CHAT_SCRIPT:
+        session.send(sender, text)
+    session.flush()
+
+    reader = session.members[3]
+    print(f"chat transcript as seen by node {reader}:")
+    for delivery in session.inbox(reader):
+        print(f"  [round {delivery.emulated_round}] node {delivery.sender}: "
+              f"{delivery.payload.decode()}")
+    per_message = session.stats.real_rounds / session.stats.emulated_rounds
+    print(f"\ncost per message: {per_message:.0f} real rounds "
+          f"(vs {session.stats.setup_rounds} for setup — amortised away)")
+
+    # Now switch the adversary to an active forger and run a silent round:
+    # the only frames in the air are forgeries, and nobody accepts them.
+    def forge(view, channel):
+        return Message(
+            kind="service-frame",
+            sender=2,
+            payload=(2, session.channel.emulated_round,
+                     (b"nonce", b"fake ciphertext", b"fake tag" + b"!" * 24)),
+        )
+
+    network.adversary = SpoofingAdversary(
+        random.Random(13), forge=forge, target_scheduled=False
+    )
+    before = {m: len(session.inbox(m)) for m in session.members}
+    session.idle_round()
+    after = {m: len(session.inbox(m)) for m in session.members}
+    assert before == after
+    print("\nadversary injected forged ciphertexts for a full emulated "
+          "round:\n  every receiver rejected them (bad MAC) — "
+          "authentication holds.")
+
+
+if __name__ == "__main__":
+    main()

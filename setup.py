@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks
+the ``wheel`` package required by the PEP-517 editable path
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

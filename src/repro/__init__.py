@@ -1,0 +1,170 @@
+"""repro — a full reproduction of *Secure Communication Over Radio Channels*.
+
+Dolev, Gilbert, Guerraoui, Newport (PODC 2008): secure, authenticated
+communication in a multi-channel single-hop radio network with a malicious
+jamming/spoofing adversary and **no pre-shared secrets**.
+
+Layers (bottom-up):
+
+* :mod:`repro.radio` — the synchronous multi-channel radio model (Section 3);
+* :mod:`repro.adversary` — pluggable interference strategies, including the
+  worst-case constructions from the proofs;
+* :mod:`repro.game` — the (G, t)-starred-edge removal game and the greedy
+  strategy (Sections 5.1-5.2);
+* :mod:`repro.feedback` — communication-feedback (Section 5.3) and the
+  parallel-prefix merge (Section 5.5);
+* :mod:`repro.fame` — the f-AME protocol (Sections 5.4-5.6);
+* :mod:`repro.crypto` — from-scratch DH, hashes, PRG, authenticated
+  encryption, channel hopping;
+* :mod:`repro.groupkey` — shared group-key establishment (Section 6);
+* :mod:`repro.service` — the long-lived communication service (Section 7);
+* :mod:`repro.baselines` — direct exchange, no-surrogate ablation,
+  oblivious gossip;
+* :mod:`repro.analysis` — vertex covers, disruptability, statistics.
+
+Quickstart
+----------
+>>> from repro import RadioNetwork, RngRegistry, run_fame
+>>> net = RadioNetwork(n=20, channels=2, t=1)
+>>> result = run_fame(net, edges=[(0, 1), (2, 3)], rng=RngRegistry(seed=7))
+>>> sorted(result.succeeded)
+[(0, 1), (2, 3)]
+"""
+
+from .errors import (
+    ConfigurationError,
+    CryptoError,
+    GameRuleViolation,
+    ProtocolViolation,
+    ReproError,
+    ScheduleError,
+    SimulationDiverged,
+)
+from .params import DEFAULT_PARAMETERS, ProtocolParameters, min_population, validate_model
+from .rng import RngRegistry
+
+from .radio import (
+    ExecutionTrace,
+    Jam,
+    Listen,
+    Message,
+    NetworkMetrics,
+    RadioNetwork,
+    RoundMeta,
+    RoundRecord,
+    Sleep,
+    Transmit,
+)
+from .adversary import (
+    Adversary,
+    BudgetAdversary,
+    NullAdversary,
+    RandomJammer,
+    ReactiveJammer,
+    ScheduleAwareJammer,
+    SimulatingAdversary,
+    SpoofingAdversary,
+    SweepJammer,
+    TriangleIsolationAdversary,
+)
+from .game import (
+    EdgeItem,
+    GameGraph,
+    GameResult,
+    GreedyTermination,
+    NodeItem,
+    StarredEdgeRemovalGame,
+    greedy_proposal,
+)
+from .feedback import WitnessAssignment, run_feedback, run_parallel_feedback
+from .fame import (
+    FameConfig,
+    FameProtocol,
+    FameResult,
+    PairOutcome,
+    Regime,
+    make_config,
+    run_fame,
+    run_fame_with_digests,
+)
+from .groupkey import (
+    GroupKeyProtocol,
+    GroupKeyResult,
+    establish_group_key,
+    leader_spanner,
+)
+from .service import Delivery, LongLivedChannel, SecureSession
+from .baselines import (
+    run_direct_exchange,
+    run_no_surrogate,
+    run_oblivious_gossip,
+)
+from .analysis import disruptability, min_vertex_cover
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "BudgetAdversary",
+    "ConfigurationError",
+    "CryptoError",
+    "DEFAULT_PARAMETERS",
+    "Delivery",
+    "EdgeItem",
+    "ExecutionTrace",
+    "FameConfig",
+    "FameProtocol",
+    "FameResult",
+    "GameGraph",
+    "GameResult",
+    "GameRuleViolation",
+    "GreedyTermination",
+    "GroupKeyProtocol",
+    "GroupKeyResult",
+    "Jam",
+    "Listen",
+    "LongLivedChannel",
+    "Message",
+    "NetworkMetrics",
+    "NodeItem",
+    "NullAdversary",
+    "PairOutcome",
+    "ProtocolParameters",
+    "ProtocolViolation",
+    "RadioNetwork",
+    "RandomJammer",
+    "ReactiveJammer",
+    "Regime",
+    "ReproError",
+    "RngRegistry",
+    "RoundMeta",
+    "RoundRecord",
+    "ScheduleAwareJammer",
+    "ScheduleError",
+    "SecureSession",
+    "SimulatingAdversary",
+    "SimulationDiverged",
+    "Sleep",
+    "SpoofingAdversary",
+    "StarredEdgeRemovalGame",
+    "SweepJammer",
+    "Transmit",
+    "TriangleIsolationAdversary",
+    "WitnessAssignment",
+    "disruptability",
+    "establish_group_key",
+    "greedy_proposal",
+    "leader_spanner",
+    "make_config",
+    "min_population",
+    "min_vertex_cover",
+    "run_direct_exchange",
+    "run_fame",
+    "run_fame_with_digests",
+    "run_feedback",
+    "run_no_surrogate",
+    "run_oblivious_gossip",
+    "run_parallel_feedback",
+    "validate_model",
+    "__version__",
+]

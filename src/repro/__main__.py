@@ -1,0 +1,166 @@
+"""Command-line demos: ``python -m repro <command>``.
+
+Commands
+--------
+``fame``      run f-AME on a generated workload and print the outcome table
+``groupkey``  run the Section 6 group-key establishment
+``service``   run the full pipeline and exchange a few chat messages
+``gauntlet``  run f-AME against every adversary in the gallery
+
+Common options: ``--nodes``, ``--channels``, ``--strength`` (t), ``--seed``,
+``--adversary``.  Every run is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from . import __version__
+from .adversary import (
+    Adversary,
+    NullAdversary,
+    RandomJammer,
+    ReactiveJammer,
+    ScheduleAwareJammer,
+    SpoofingAdversary,
+    SweepJammer,
+)
+from .crypto.dh import TEST_GROUP_128
+from .fame import run_fame
+from .groupkey import establish_group_key
+from .radio.network import RadioNetwork
+from .rng import RngRegistry
+from .service import SecureSession
+
+ADVERSARIES = {
+    "null": lambda rng: NullAdversary(),
+    "random": RandomJammer,
+    "sweep": lambda rng: SweepJammer(),
+    "reactive": ReactiveJammer,
+    "spoofer": SpoofingAdversary,
+    "schedule": lambda rng: ScheduleAwareJammer(rng, policy="prefix"),
+}
+
+
+def _make_network(
+    n: int, channels: int, t: int, adversary: Adversary
+) -> RadioNetwork:
+    return RadioNetwork(
+        n, channels, t,
+        adversary=adversary,
+        keep_trace=adversary.needs_history,
+    )
+
+
+def _build_network(args: argparse.Namespace) -> RadioNetwork:
+    adversary: Adversary = ADVERSARIES[args.adversary](
+        random.Random(args.seed ^ 0xA5A5)
+    )
+    return _make_network(args.nodes, args.channels, args.strength, adversary)
+
+
+def _default_pairs(n: int, count: int) -> list[tuple[int, int]]:
+    return [(i, i + n // 2) for i in range(min(count, n // 2 - 1))]
+
+
+def cmd_fame(args: argparse.Namespace) -> int:
+    network = _build_network(args)
+    pairs = _default_pairs(args.nodes, args.pairs)
+    result = run_fame(network, pairs, rng=RngRegistry(seed=args.seed))
+    print(f"f-AME: {len(result.succeeded)}/{len(pairs)} pairs delivered in "
+          f"{result.rounds} rounds ({result.moves} game moves)")
+    for pair, outcome in sorted(result.outcomes.items()):
+        status = f"ok: {outcome.message!r}" if outcome.success else "FAIL"
+        print(f"  {pair}: {status}")
+    print(f"disruptability {result.disruptability()} <= t={args.strength}")
+    return 0
+
+
+def cmd_groupkey(args: argparse.Namespace) -> int:
+    network = _build_network(args)
+    result = establish_group_key(
+        network, RngRegistry(seed=args.seed), group=TEST_GROUP_128
+    )
+    summary = result.summary()
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    if result.group_key is not None:
+        print(f"  key fingerprint: {result.group_key.hex()[:16]}…")
+    return 0 if len(result.holders()) >= args.nodes - args.strength else 1
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    network = _build_network(args)
+    session = SecureSession(
+        network, RngRegistry(seed=args.seed), group=TEST_GROUP_128
+    )
+    print(f"setup: {session.stats.setup_rounds} rounds, "
+          f"{len(session.members)} members")
+    for i in range(3):
+        session.send(session.members[i], f"message {i}".encode())
+    session.flush()
+    reader = session.members[-1]
+    for delivery in session.inbox(reader):
+        print(f"  node {reader} <- node {delivery.sender}: "
+              f"{delivery.payload.decode()}")
+    print(f"per-message cost: "
+          f"{session.stats.real_rounds // max(1, session.stats.emulated_rounds)}"
+          " rounds")
+    return 0
+
+
+def cmd_gauntlet(args: argparse.Namespace) -> int:
+    pairs = _default_pairs(args.nodes, args.pairs)
+    worst = 0
+    for name, factory in ADVERSARIES.items():
+        network = _make_network(
+            args.nodes, args.channels, args.strength,
+            factory(random.Random(args.seed)),
+        )
+        result = run_fame(network, pairs, rng=RngRegistry(seed=args.seed))
+        cover = result.disruptability()
+        worst = max(worst, cover)
+        print(f"  {name:10} failed={len(result.failed):2} cover={cover}")
+    print(f"worst cover {worst} <= t={args.strength}: "
+          f"{'OK' if worst <= args.strength else 'VIOLATED'}")
+    return 0 if worst <= args.strength else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure Communication Over Radio Channels (PODC 2008) "
+        "— reproduction demos",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, handler, blurb in (
+        ("fame", cmd_fame, "authenticated message exchange"),
+        ("groupkey", cmd_groupkey, "group-key establishment"),
+        ("service", cmd_service, "long-lived secure communication"),
+        ("gauntlet", cmd_gauntlet, "f-AME vs the adversary gallery"),
+    ):
+        p = sub.add_parser(name, help=blurb)
+        p.add_argument("--nodes", "-n", type=int, default=20)
+        p.add_argument("--channels", "-c", type=int, default=2)
+        p.add_argument("--strength", "-t", type=int, default=1)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--pairs", type=int, default=5)
+        p.add_argument(
+            "--adversary", choices=sorted(ADVERSARIES), default="schedule"
+        )
+        p.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Adversary strategies for the malicious-interference model.
+
+The paper's adversary (Section 3) can, per round, transmit on up to ``t < C``
+channels — jamming by collision or spoofing fake messages — and can listen on
+all channels.  It learns all random choices of completed rounds, but not the
+honest nodes' current-round choices.
+
+The paper quantifies over *all* such adversaries; a reproduction must
+instantiate concrete strategies.  This package provides:
+
+* :class:`NullAdversary` — a no-op, for sanity baselines;
+* :class:`RandomJammer`, :class:`SweepJammer`, :class:`ReactiveJammer` —
+  generic disruptors;
+* :class:`SpoofingAdversary` — forges messages on otherwise-empty channels;
+* :class:`ScheduleAwareJammer` — the worst case versus f-AME: reads the
+  deterministic broadcast schedule and jams ``t`` of the ``t+1`` channels in
+  use, optionally choosing victims adaptively;
+* :class:`SimulatingAdversary` — the Theorem 2 lower-bound construction that
+  runs fake copies of honest nodes;
+* :class:`TriangleIsolationAdversary` — the Section 5 attack that forces
+  ``2t``-disruptability on direct-exchange protocols;
+* :class:`BudgetAdversary` — a wrapper enforcing the bounded-energy model
+  from the related work ([14, 17]).
+"""
+
+from .base import Adversary
+from .null import NullAdversary
+from .jammers import RandomJammer, ReactiveJammer, SweepJammer
+from .spoofer import SpoofingAdversary
+from .schedule_aware import ScheduleAwareJammer
+from .simulating import SimulatingAdversary
+from .triangle import TriangleIsolationAdversary
+from .budget import BudgetAdversary
+
+__all__ = [
+    "Adversary",
+    "BudgetAdversary",
+    "NullAdversary",
+    "RandomJammer",
+    "ReactiveJammer",
+    "ScheduleAwareJammer",
+    "SimulatingAdversary",
+    "SpoofingAdversary",
+    "SweepJammer",
+]

@@ -1,0 +1,39 @@
+"""The adversary interface.
+
+An adversary is a strategy object with a single decision method,
+:meth:`Adversary.act`, called once per round by the network *after* honest
+actions are fixed but shown only the :class:`~repro.radio.network.AdversaryView`
+(past history + public metadata).  It returns at most ``t`` transmissions on
+distinct channels; the network validates the budget and raises
+:class:`~repro.errors.ProtocolViolation` on cheating attempts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+from ..radio.messages import Transmission
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..radio.network import AdversaryView
+
+
+class Adversary(abc.ABC):
+    """Base class for adversary strategies.
+
+    Subclasses override :meth:`act`.  Strategies that consult past rounds
+    must set :attr:`needs_history` to ``True`` so the network refuses to run
+    them with trace retention disabled.
+    """
+
+    #: Whether this strategy reads ``view.history``.
+    needs_history: bool = False
+
+    @abc.abstractmethod
+    def act(self, view: "AdversaryView") -> Sequence[Transmission]:
+        """Return this round's transmissions (at most ``view.t``, distinct
+        channels).  Implementations must not mutate the view."""
+
+    def reset(self) -> None:
+        """Clear any per-execution state; called between independent runs."""

@@ -1,0 +1,99 @@
+"""Generic jamming strategies.
+
+These adversaries only inject noise (:class:`~repro.radio.messages.Jam`), so
+they can disrupt but never spoof.  They exercise the protocols' resilience
+claims without needing any protocol-specific knowledge.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Sequence
+
+from ..radio.messages import JAM, Transmission
+from .base import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..radio.network import AdversaryView
+
+
+class RandomJammer(Adversary):
+    """Jams ``t`` uniformly random channels each round.
+
+    Parameters
+    ----------
+    rng:
+        Adversary-private randomness stream.
+    intensity:
+        Fraction of the per-round budget actually used, in ``(0, 1]``.
+        ``intensity=0.5`` with ``t=4`` jams 2 channels per round.
+    """
+
+    def __init__(self, rng: random.Random, intensity: float = 1.0) -> None:
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError("intensity must be in (0, 1]")
+        self._rng = rng
+        self._intensity = intensity
+
+    def act(self, view: "AdversaryView") -> Sequence[Transmission]:
+        budget = min(view.t, view.channels)
+        count = max(0, round(budget * self._intensity))
+        if count == 0:
+            return ()
+        channels = self._rng.sample(range(view.channels), count)
+        return tuple(Transmission(c, JAM) for c in channels)
+
+
+class SweepJammer(Adversary):
+    """Deterministically sweeps a jamming window across the channel space.
+
+    Round ``r`` jams channels ``(r*stride + i) mod C`` for ``i < t``.  A
+    predictable but full-budget disruptor: useful for deterministic
+    regression tests of disruption handling.
+    """
+
+    def __init__(self, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self._stride = stride
+
+    def act(self, view: "AdversaryView") -> Sequence[Transmission]:
+        base = (view.round_index * self._stride) % view.channels
+        budget = min(view.t, view.channels)
+        channels = {(base + i) % view.channels for i in range(budget)}
+        return tuple(Transmission(c, JAM) for c in sorted(channels))
+
+
+class ReactiveJammer(Adversary):
+    """Jams the channels that carried the most recent honest activity.
+
+    Implements the one-round-delayed eavesdropper the model allows: it
+    inspects the last ``window`` completed rounds, scores channels by how
+    many honest transmissions they carried, and jams the top ``t``.  Ties
+    are broken by preferring lower channel ids, then filled with random
+    channels so the budget is never wasted.
+    """
+
+    needs_history = True
+
+    def __init__(self, rng: random.Random, window: int = 4) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._rng = rng
+        self._window = window
+
+    def act(self, view: "AdversaryView") -> Sequence[Transmission]:
+        scores = [0] * view.channels
+        history = view.history
+        start = max(0, len(history) - self._window)
+        for idx in range(start, len(history)):
+            record = history[idx]
+            for channel in range(view.channels):
+                scores[channel] += len(record.honest_transmitters(channel))
+        ranked = sorted(range(view.channels), key=lambda c: (-scores[c], c))
+        budget = min(view.t, view.channels)
+        targets = ranked[:budget]
+        # If there has been no activity, fall back to random jamming.
+        if all(scores[c] == 0 for c in targets):
+            targets = self._rng.sample(range(view.channels), budget)
+        return tuple(Transmission(c, JAM) for c in targets)

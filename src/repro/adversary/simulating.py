@@ -1,0 +1,73 @@
+"""The Theorem 2 lower-bound adversary: simulate honest nodes with fake data.
+
+Theorem 2 shows no AME protocol can beat ``t``-disruptability: the adversary
+picks ``t`` senders and runs *faithful copies* of their protocol code, using
+its own coins and substituting fake messages.  To a receiver, the real
+execution and the execution with roles swapped are equiprobable, so the
+receiver cannot authenticate — unless (as in f-AME) the schedule itself rules
+spoofing out.
+
+:class:`SimulatingAdversary` is the generic vehicle: it is configured with up
+to ``t`` *node simulators*, callables that produce what the simulated node
+would transmit this round.  The lower-bound benchmark instantiates it against
+a strawman randomized-exchange protocol, where the simulator mirrors the
+sender's channel distribution exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..errors import ConfigurationError
+from ..radio.messages import Transmission
+from .base import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..radio.network import AdversaryView
+
+NodeSimulator = Callable[["AdversaryView", random.Random], Transmission | None]
+"""Produces the simulated node's transmission for this round (or ``None``
+when the simulated node would stay silent)."""
+
+
+class SimulatingAdversary(Adversary):
+    """Runs up to ``t`` fake node simulations per round.
+
+    Parameters
+    ----------
+    rng:
+        The adversary's private coins (``r_A`` in the Theorem 2 proof).
+    simulators:
+        One callable per simulated node.  The network enforces the global
+        budget; this class additionally rejects configurations with more
+        simulators than any budget could serve.
+    """
+
+    def __init__(
+        self, rng: random.Random, simulators: Sequence[NodeSimulator]
+    ) -> None:
+        self._rng = rng
+        self._simulators = list(simulators)
+        if not self._simulators:
+            raise ConfigurationError("need at least one node simulator")
+
+    def act(self, view: "AdversaryView") -> Sequence[Transmission]:
+        if len(self._simulators) > view.t:
+            raise ConfigurationError(
+                f"{len(self._simulators)} simulators but budget t={view.t}"
+            )
+        out: list[Transmission] = []
+        used: set[int] = set()
+        for simulate in self._simulators:
+            tx = simulate(view, self._rng)
+            if tx is None:
+                continue
+            if tx.channel in used:
+                # Two simulated nodes picked the same channel; the medium
+                # would collide anyway, so a single transmission suffices
+                # (and keeps the distinct-channel budget rule satisfied).
+                continue
+            used.add(tx.channel)
+            out.append(tx)
+        return tuple(out)

@@ -1,0 +1,69 @@
+"""The triangle-isolation attack from Section 5's second insight.
+
+Against a *direct exchange* protocol — every message travels straight from
+source to destination, no surrogates — the adversary can do better than ``t``
+failures: it fixes ``t`` vertex-disjoint triples of nodes and jams every
+scheduled channel whose edge lies inside a watched triple.  Since scheduled
+edges within a round are vertex-disjoint, at most one channel per triple needs
+jamming per round, so the budget of ``t`` always suffices.  The resulting
+disruption graph contains ``t`` edge-disjoint triangles, whose minimum vertex
+cover has size ``2t`` — twice what f-AME concedes.
+
+This adversary is the engine of experiment E10 (surrogate ablation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import ConfigurationError
+from ..radio.messages import JAM, Transmission
+from .base import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..radio.network import AdversaryView
+
+
+class TriangleIsolationAdversary(Adversary):
+    """Jams any scheduled edge internal to one of ``t`` watched triples.
+
+    Parameters
+    ----------
+    triples:
+        Vertex-disjoint triples of node ids to isolate.  The attack needs at
+        most as many triples as the budget ``t``; extra triples raise at
+        act-time if they would overflow the budget in some round.
+    """
+
+    def __init__(self, triples: Sequence[tuple[int, int, int]]) -> None:
+        if not triples:
+            raise ConfigurationError("need at least one triple")
+        seen: set[int] = set()
+        for triple in triples:
+            if len(set(triple)) != 3:
+                raise ConfigurationError(f"triple {triple} is degenerate")
+            if seen & set(triple):
+                raise ConfigurationError("triples must be vertex-disjoint")
+            seen.update(triple)
+        self._triples = [frozenset(tr) for tr in triples]
+
+    def _edge_triple(self, src: int | None, dst: int | None) -> int | None:
+        """Index of the watched triple containing both endpoints, if any."""
+        if src is None or dst is None:
+            return None
+        for idx, triple in enumerate(self._triples):
+            if src in triple and dst in triple:
+                return idx
+        return None
+
+    def act(self, view: "AdversaryView") -> Sequence[Transmission]:
+        schedule = view.meta.schedule or {}
+        assignments = schedule.get("assignments", {})
+        targets: list[int] = []
+        for channel, info in assignments.items():
+            src = info.get("source", info.get("broadcaster"))
+            dst = info.get("listener")
+            if self._edge_triple(src, dst) is not None:
+                targets.append(channel)
+        budget = min(view.t, view.channels)
+        return tuple(Transmission(c, JAM) for c in sorted(targets)[:budget])

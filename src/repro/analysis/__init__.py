@@ -1,0 +1,53 @@
+"""Measurement and verification helpers.
+
+These modules do not participate in the protocols; they *judge* them:
+computing minimum vertex covers of disruption graphs (the quantity
+Definition 1's ``d``-disruptability is phrased in), building disruption
+graphs from protocol outcomes, estimating success probabilities, and fitting
+measured round counts against the paper's asymptotic claims.
+"""
+
+from .vertex_cover import (
+    greedy_matching_cover,
+    has_cover_at_most,
+    min_vertex_cover,
+    vertex_cover_number,
+)
+from .disruption import disruption_graph, disruptability
+from .stats import wilson_interval, empirical_rate
+from .complexity import fit_power_law, scaling_ratios
+from .graphs import (
+    is_k_connected,
+    matching_lower_bound,
+    node_connectivity,
+    triangle_count,
+)
+from .theory import (
+    feedback_miss_probability,
+    feedback_repetitions_for_target,
+    gossip_miss_probability,
+    hopping_miss_probability,
+    union_bound_failure,
+)
+
+__all__ = [
+    "disruptability",
+    "disruption_graph",
+    "empirical_rate",
+    "feedback_miss_probability",
+    "feedback_repetitions_for_target",
+    "fit_power_law",
+    "gossip_miss_probability",
+    "hopping_miss_probability",
+    "is_k_connected",
+    "matching_lower_bound",
+    "node_connectivity",
+    "triangle_count",
+    "union_bound_failure",
+    "greedy_matching_cover",
+    "has_cover_at_most",
+    "min_vertex_cover",
+    "scaling_ratios",
+    "vertex_cover_number",
+    "wilson_interval",
+]

@@ -1,0 +1,77 @@
+"""Fitting measured round counts against the paper's asymptotic claims.
+
+The evaluation artifacts of this paper are complexity rows (Figure 3) and
+theorem-shaped bounds, so "reproducing a figure" means measuring round counts
+over a parameter sweep and checking that the growth *shape* matches — e.g.
+that f-AME rounds grow linearly in ``|E|`` and that the ``C >= 2t`` variant
+beats the ``C = t+1`` variant by roughly the predicted ``t^2 / t·log`` ratios.
+
+We provide a tiny log-log least-squares power-law fit (no scipy dependency at
+runtime; numpy only) and ratio tables for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y ≈ coefficient * x ** exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = a log x + b``.
+
+    Requires at least two strictly positive points.  Returns the exponent
+    ``a``, coefficient ``e^b``, and the coefficient of determination on the
+    log-log scale.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pts = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pts) < 2:
+        raise ValueError("need at least two positive points")
+    lx = [math.log(x) for x, _ in pts]
+    ly = [math.log(y) for _, y in pts]
+    n = len(pts)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("xs are all equal; cannot fit")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(lx, ly)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=slope, coefficient=math.exp(intercept), r_squared=r2)
+
+
+def scaling_ratios(ys: Sequence[float]) -> list[float]:
+    """Successive ratios ``y[i+1] / y[i]`` — a quick growth-shape probe."""
+    if len(ys) < 2:
+        return []
+    return [b / a for a, b in zip(ys, ys[1:]) if a > 0]
+
+
+def normalized_cost(
+    ys: Sequence[float], predictions: Sequence[float]
+) -> list[float]:
+    """Measured cost divided by the theory prediction, point by point.
+
+    A flat sequence (constant ratio) indicates the measured data matches the
+    predicted shape up to the constant the theory leaves unspecified.
+    """
+    if len(ys) != len(predictions):
+        raise ValueError("length mismatch")
+    return [y / p for y, p in zip(ys, predictions) if p > 0]

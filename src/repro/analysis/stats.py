@@ -1,0 +1,72 @@
+"""Success-probability estimation for with-high-probability claims.
+
+The paper's guarantees hold "with high probability" (conventionally,
+``>= 1 - 1/n``).  To check such claims empirically we estimate failure rates
+over repeated randomized executions and report Wilson score intervals, which
+behave sensibly at the zero-failure boundary where the naive normal interval
+collapses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """An empirical rate with its Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def point(self) -> float:
+        """The maximum-likelihood rate."""
+        return self.successes / self.trials if self.trials else float("nan")
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Parameters
+    ----------
+    successes, trials:
+        Observed counts; requires ``0 <= successes <= trials`` and
+        ``trials > 0``.
+    z:
+        Normal quantile; the default 1.96 gives a ~95% interval.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def empirical_rate(successes: int, trials: int, z: float = 1.96) -> RateEstimate:
+    """Bundle a rate estimate with its Wilson interval."""
+    low, high = wilson_interval(successes, trials, z)
+    return RateEstimate(successes=successes, trials=trials, low=low, high=high)
+
+
+def meets_whp(failures: int, trials: int, n: int) -> bool:
+    """Conservatively check an observed failure rate against the 1/n target.
+
+    Accepts when the Wilson lower bound of the *failure* rate is below
+    ``1/n`` — i.e. we cannot statistically reject the w.h.p. claim.
+    """
+    low, _high = wilson_interval(failures, trials)
+    return low <= 1.0 / n

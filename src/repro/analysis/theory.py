@@ -1,0 +1,61 @@
+"""Closed-form success/failure curves for the randomized sub-protocols.
+
+The paper's w.h.p. claims rest on simple per-round success probabilities;
+this module states them in closed form (vectorized with numpy for sweep
+plots and benchmark tables), so measurements can be compared against the
+exact theory rather than only against asymptotic shapes.
+
+* feedback listening (Figure 1): a non-witness hears a ``<true, r>`` frame
+  with probability ``(C - t) / C`` per repetition — it must pick one of
+  the ``C - t`` unjammed feedback channels;
+* key-derived hopping (Sections 6-7): the blind adversary hits the hop
+  with probability ``t / C`` per round;
+* gossip epochs (Section 5.6): a listener needs transmitter and listener
+  on the same unjammed channel — probability ``(C - t) / C^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def feedback_miss_probability(
+    repetitions: int | np.ndarray, channels: int, t: int
+) -> np.ndarray:
+    """P(a listener misses a true slot for all ``repetitions`` rounds)."""
+    reps = np.asarray(repetitions, dtype=float)
+    per_round = (channels - t) / channels
+    return np.power(1.0 - per_round, reps)
+
+
+def feedback_repetitions_for_target(
+    target_miss: float, channels: int, t: int
+) -> int:
+    """Smallest repetition count pushing the miss probability below target."""
+    if not 0 < target_miss < 1:
+        raise ValueError("target_miss must be in (0, 1)")
+    per_round = (channels - t) / channels
+    return int(np.ceil(np.log(target_miss) / np.log(1.0 - per_round)))
+
+
+def hopping_miss_probability(
+    rounds: int | np.ndarray, channels: int, t: int
+) -> np.ndarray:
+    """P(the keyless adversary jams the hop every round of an epoch)."""
+    rr = np.asarray(rounds, dtype=float)
+    per_round = 1.0 - t / channels
+    return np.power(1.0 - per_round, rr)
+
+
+def gossip_miss_probability(
+    rounds: int | np.ndarray, channels: int, t: int
+) -> np.ndarray:
+    """P(one listener never catches a gossip epoch's frame)."""
+    rr = np.asarray(rounds, dtype=float)
+    per_round = (channels - t) / (channels * channels)
+    return np.power(1.0 - per_round, rr)
+
+
+def union_bound_failure(per_party: float, parties: int) -> float:
+    """Union bound: P(any of ``parties`` independent listeners fails)."""
+    return float(min(1.0, per_party * parties))

@@ -1,0 +1,31 @@
+"""Baselines the paper positions f-AME against.
+
+* :func:`run_direct_exchange` — the deterministic source-to-destination
+  strawman of Section 5: authenticated but only ``2t``-disruptable (the
+  triangle-isolation attack);
+* :func:`run_no_surrogate` — the Section 8 (Q1) ablation: f-AME's adaptive
+  machinery without surrogates, terminating at a ``2t`` cover;
+* :func:`run_oblivious_gossip` — the [13]-style oblivious gossip of the
+  related work: slow and unauthenticated.
+"""
+
+from .direct_exchange import DirectExchangeResult, run_direct_exchange
+from .no_surrogate import NoSurrogateResult, run_no_surrogate
+from .oblivious_gossip import GossipResult, run_oblivious_gossip
+from .randomized_exchange import (
+    RandomizedExchangeResult,
+    exchange_frame,
+    run_randomized_exchange,
+)
+
+__all__ = [
+    "DirectExchangeResult",
+    "GossipResult",
+    "NoSurrogateResult",
+    "RandomizedExchangeResult",
+    "exchange_frame",
+    "run_direct_exchange",
+    "run_no_surrogate",
+    "run_oblivious_gossip",
+    "run_randomized_exchange",
+]

@@ -1,0 +1,141 @@
+"""The deterministic direct-exchange strawman (Section 5's first insight).
+
+Every message travels straight from source to destination on a
+pre-determined schedule: vertex-disjoint pending pairs are packed onto the
+channels, sources broadcast, destinations listen.  Because the schedule is
+deterministic, the adversary can never spoof (any of its transmissions on a
+scheduled channel merely collides) — this is the easy half of
+authentication.  The protocol simply sweeps over the pending set for a fixed
+number of passes.
+
+Its weakness is resilience: with no surrogates, the triangle-isolation
+adversary (Section 5) pins ``t`` vertex-disjoint triples and jams every
+scheduled intra-triple edge — at most one per triple per round fits in any
+vertex-disjoint schedule, so a budget of ``t`` always suffices — leaving a
+disruption graph of ``t`` edge-disjoint triangles whose minimum vertex cover
+is ``2t``.  Experiment E10 measures exactly that gap against f-AME's ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..analysis.vertex_cover import min_vertex_cover
+from ..errors import ProtocolViolation
+from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.messages import Message
+from ..radio.network import RadioNetwork, RoundMeta
+
+DIRECT_KIND = "direct-data"
+
+
+@dataclass
+class DirectExchangeResult:
+    """Outcome of a direct-exchange run."""
+
+    outcomes: dict[tuple[int, int], bool]
+    delivered: dict[tuple[int, int], Any]
+    rounds: int
+    passes: int
+
+    @property
+    def failed(self) -> list[tuple[int, int]]:
+        """Pairs never delivered."""
+        return [p for p, ok in self.outcomes.items() if not ok]
+
+    def disruptability(self) -> int:
+        """Minimum vertex cover of the failed pairs."""
+        return len(min_vertex_cover(self.failed))
+
+
+def _pack_round(
+    pending: Sequence[tuple[int, int]], channels: int
+) -> list[tuple[int, int]]:
+    """Deterministically pick up to ``channels`` vertex-disjoint pairs."""
+    chosen: list[tuple[int, int]] = []
+    used: set[int] = set()
+    for v, w in pending:
+        if v in used or w in used:
+            continue
+        chosen.append((v, w))
+        used.update((v, w))
+        if len(chosen) == channels:
+            break
+    return chosen
+
+
+def run_direct_exchange(
+    network: RadioNetwork,
+    edges: Sequence[tuple[int, int]],
+    messages: Mapping[tuple[int, int], Any] | None = None,
+    *,
+    passes: int = 3,
+) -> DirectExchangeResult:
+    """Run the direct-exchange baseline for ``passes`` full sweeps.
+
+    Each sweep repeatedly packs vertex-disjoint pending pairs onto channels
+    until every pending pair has been scheduled once; pairs whose broadcast
+    survives are removed from the pending set (the simulator observes
+    delivery directly — the baseline makes no sender-awareness claim, which
+    is one of the things f-AME adds).
+    """
+    edges = list(dict.fromkeys((int(v), int(w)) for v, w in edges))
+    for v, w in edges:
+        if v == w or not (0 <= v < network.n and 0 <= w < network.n):
+            raise ProtocolViolation(f"invalid pair ({v}, {w})")
+    if messages is None:
+        messages = {(v, w): ("msg", v, w) for v, w in edges}
+    start = network.metrics.rounds
+    pending = list(edges)
+    delivered: dict[tuple[int, int], Any] = {}
+
+    for _pass in range(passes):
+        if not pending:
+            break
+        # One sweep: schedule every pending pair exactly once.
+        sweep = list(pending)
+        while sweep:
+            batch = _pack_round(sweep, network.channels)
+            sweep = [p for p in sweep if p not in set(batch)]
+            actions: dict[int, Action] = {
+                node: Sleep() for node in range(network.n)
+            }
+            assignments: dict[int, dict[str, int | None]] = {}
+            for channel, (v, w) in enumerate(batch):
+                actions[v] = Transmit(
+                    channel,
+                    Message(
+                        kind=DIRECT_KIND, sender=v, payload=(v, w, messages[(v, w)])
+                    ),
+                )
+                actions[w] = Listen(channel)
+                assignments[channel] = {
+                    "broadcaster": v,
+                    "source": v,
+                    "listener": w,
+                }
+            meta = RoundMeta(
+                phase="direct-exchange",
+                schedule={
+                    "channels_in_use": tuple(range(len(batch))),
+                    "assignments": assignments,
+                },
+            )
+            results = network.execute_round(actions, meta)
+            for channel, (v, w) in enumerate(batch):
+                frame = results.get(w)
+                if (
+                    frame is not None
+                    and frame.kind == DIRECT_KIND
+                    and frame.payload[:2] == (v, w)
+                ):
+                    delivered[(v, w)] = frame.payload[2]
+                    if (v, w) in pending:
+                        pending.remove((v, w))
+    return DirectExchangeResult(
+        outcomes={p: p in delivered for p in edges},
+        delivered=delivered,
+        rounds=network.metrics.rounds - start,
+        passes=passes,
+    )

@@ -1,0 +1,57 @@
+"""From-scratch cryptographic substrate for Sections 6-7.
+
+The paper's group-key and long-lived-service constructions assume:
+
+* a one-round key-exchange protocol — :mod:`repro.crypto.dh` implements
+  Diffie-Hellman over safe-prime groups (RFC 3526 group 14, plus small
+  simulation groups);
+* collision-resistant hash functions ``H1``/``H2`` — :mod:`repro.crypto.hashes`;
+* a PRG for channel hopping and keystreams — :mod:`repro.crypto.prg`;
+* authenticated symmetric encryption — :mod:`repro.crypto.stream`
+  (encrypt-then-MAC over a PRG keystream);
+* key-derived channel-hopping patterns — :mod:`repro.crypto.hopping`.
+
+Everything is built from ``hashlib``/``hmac`` and integer arithmetic; there
+are no external crypto dependencies.  The small DH groups are insecure
+against real discrete-log attacks and exist only to keep simulations fast —
+the simulated adversary never computes discrete logs.
+"""
+
+from .dh import (
+    DEFAULT_GROUP,
+    DhGroup,
+    DhKeyPair,
+    MODP_GROUP_14,
+    TEST_GROUP_64,
+    TEST_GROUP_128,
+    TEST_GROUP_256,
+    is_probable_prime,
+    pairwise_context,
+)
+from .hashes import WeakHash, canonical_encode, derive_key, h1, h2
+from .hopping import ChannelHopper
+from .prg import Prg, keystream
+from .stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
+
+__all__ = [
+    "AuthenticatedCipher",
+    "ChannelHopper",
+    "Ciphertext",
+    "DEFAULT_GROUP",
+    "DhGroup",
+    "DhKeyPair",
+    "MODP_GROUP_14",
+    "Prg",
+    "TEST_GROUP_64",
+    "TEST_GROUP_128",
+    "TEST_GROUP_256",
+    "WeakHash",
+    "canonical_encode",
+    "derive_key",
+    "h1",
+    "h2",
+    "is_probable_prime",
+    "keystream",
+    "nonce_from_counter",
+    "pairwise_context",
+]

@@ -1,0 +1,115 @@
+"""Authenticated symmetric encryption from the PRG (Sections 6-7).
+
+The long-lived service needs, against an adversary *without* the key:
+
+* **secrecy** — ciphertexts reveal nothing about plaintexts; and
+* **authentication** — forged or tampered ciphertexts are rejected.
+
+We build the standard encrypt-then-MAC construction: a PRG keystream XOR
+for confidentiality and an HMAC-SHA256 tag over ``nonce || ciphertext ||
+associated data`` for integrity.  Nonces are caller-supplied (protocols use
+round/epoch counters) and must never repeat under one key — the classic
+stream-cipher contract, stated loudly in :meth:`AuthenticatedCipher.encrypt`.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import CryptoError
+from .hashes import canonical_encode, derive_key
+from .prg import Prg
+
+TAG_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """A sealed message: nonce (public), body, and authentication tag."""
+
+    nonce: bytes
+    body: bytes
+    tag: bytes
+
+    def as_tuple(self) -> tuple[bytes, bytes, bytes]:
+        """Radio-friendly representation (tuple payloads hash canonically)."""
+        return (self.nonce, self.body, self.tag)
+
+    @classmethod
+    def from_tuple(cls, value: tuple[bytes, bytes, bytes]) -> "Ciphertext":
+        """Rebuild from :meth:`as_tuple` output; validates shape."""
+        if (
+            not isinstance(value, tuple)
+            or len(value) != 3
+            or not all(isinstance(part, (bytes, bytearray)) for part in value)
+        ):
+            raise CryptoError("malformed ciphertext tuple")
+        nonce, body, tag = value
+        return cls(nonce=bytes(nonce), body=bytes(body), tag=bytes(tag))
+
+
+class AuthenticatedCipher:
+    """Encrypt-then-MAC over a shared symmetric key.
+
+    Parameters
+    ----------
+    key:
+        Master key material; independent encryption and MAC keys are derived
+        from it, so using the same master key elsewhere (e.g. for channel
+        hopping) is safe.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or len(key) < 16:
+            raise CryptoError("key must be at least 16 bytes")
+        self._enc_key = derive_key(bytes(key), "enc")
+        self._mac_key = derive_key(bytes(key), "mac")
+
+    def _tag(self, nonce: bytes, body: bytes, associated: bytes) -> bytes:
+        material = (
+            canonical_encode(nonce)
+            + canonical_encode(body)
+            + canonical_encode(associated)
+        )
+        return hmac.new(self._mac_key, material, hashlib.sha256).digest()
+
+    def encrypt(
+        self, plaintext: bytes, nonce: bytes, associated: bytes = b""
+    ) -> Ciphertext:
+        """Seal ``plaintext``.
+
+        ``nonce`` MUST be unique per message under this key (protocols use
+        monotone counters); reuse leaks the XOR of the two plaintexts.
+        ``associated`` is authenticated but not encrypted (e.g. sender id).
+        """
+        if not isinstance(plaintext, (bytes, bytearray)):
+            raise CryptoError("plaintext must be bytes")
+        if not isinstance(nonce, (bytes, bytearray)) or not nonce:
+            raise CryptoError("nonce must be non-empty bytes")
+        # Bind the keystream to the nonce by deriving a per-nonce stream.
+        pad = Prg(
+            derive_key(self._enc_key, "nonce", bytes(nonce)), "xor"
+        ).read(len(plaintext))
+        body = bytes(a ^ b for a, b in zip(bytes(plaintext), pad))
+        return Ciphertext(
+            nonce=bytes(nonce),
+            body=body,
+            tag=self._tag(bytes(nonce), body, bytes(associated)),
+        )
+
+    def decrypt(self, sealed: Ciphertext, associated: bytes = b"") -> bytes:
+        """Open a ciphertext; raises :class:`CryptoError` on any tampering."""
+        expected = self._tag(sealed.nonce, sealed.body, bytes(associated))
+        if not hmac.compare_digest(expected, sealed.tag):
+            raise CryptoError("authentication failed: bad tag")
+        pad = Prg(
+            derive_key(self._enc_key, "nonce", sealed.nonce), "xor"
+        ).read(len(sealed.body))
+        return bytes(a ^ b for a, b in zip(sealed.body, pad))
+
+
+def nonce_from_counter(*parts: int) -> bytes:
+    """Build a nonce from integer counters (round number, sender id, ...)."""
+    return b"".join(p.to_bytes(8, "big", signed=True) for p in parts)

@@ -1,0 +1,29 @@
+"""Explorations of the paper's open questions (Section 8).
+
+* :mod:`repro.extensions.restricted_listening` — the Q2 model: an
+  adversary that can listen on only ``t`` channels per round, plus the
+  share-spray experiment showing the secrecy/reliability tension behind
+  the paper's conjecture that information-theoretic key agreement is
+  inherently exponential.
+
+(The Q1 Byzantine variant lives in :mod:`repro.fame.byzantine`; the Q4
+point-to-point primitive in :mod:`repro.service.pairwise`.)
+"""
+
+from .restricted_listening import (
+    HoppingEavesdropper,
+    MonitoringAdversary,
+    RestrictedListeningNetwork,
+    ShareSprayResult,
+    StickyEavesdropper,
+    run_share_spray,
+)
+
+__all__ = [
+    "HoppingEavesdropper",
+    "MonitoringAdversary",
+    "RestrictedListeningNetwork",
+    "ShareSprayResult",
+    "StickyEavesdropper",
+    "run_share_spray",
+]

@@ -1,0 +1,211 @@
+"""Channel-regime configuration for f-AME (Sections 5.4 and 5.5).
+
+The paper analyses three regimes, summarised in its Figure 3:
+
+========  =====================  ==========================  ====================
+Regime    Channels required      Proposal size (game moves)  Feedback mechanism
+========  =====================  ==========================  ====================
+BASE      ``C >= t + 1``         ``t + 1``                   serial (Figure 1)
+DOUBLE    ``C >= 2t``            ``2t``                      serial, ``O(log n)``
+                                                             per slot
+SQUARED   ``C >= 2t^2``          ``floor(C / t)``            parallel-prefix merge
+========  =====================  ==========================  ====================
+
+A :class:`FameConfig` fixes the regime, the set of channels used for the
+message-transmission phase, and the feedback style, and validates the node
+population against the witness demand of the schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..params import ProtocolParameters, DEFAULT_PARAMETERS, validate_model
+
+
+class Regime(enum.Enum):
+    """The three channel regimes of Figure 3."""
+
+    BASE = "base"  # C >= t+1, proposals of t+1 items, serial feedback
+    DOUBLE = "double"  # C >= 2t, proposals of 2t items, serial feedback
+    SQUARED = "squared"  # C >= 2t^2, proposals of C/t items, parallel feedback
+
+
+def witness_group_size(t: int) -> int:
+    """Listeners recruited per in-use channel: the paper's ``3(t+1)``.
+
+    Large enough both to leave ``t+1`` spare surrogates after a starring
+    round (Invariant 2 of Theorem 6) and to populate every feedback witness
+    set (which needs one member per feedback channel).
+    """
+    return 3 * (t + 1)
+
+
+@dataclass(frozen=True)
+class FameConfig:
+    """Resolved configuration for one f-AME execution.
+
+    Attributes
+    ----------
+    n, channels, t:
+        The model parameters (``channels`` is the network's full ``C``).
+    regime:
+        Which Figure 3 row this execution follows.
+    proposal_size:
+        Number of items per game proposal — equal to the number of channels
+        used during message-transmission rounds.
+    feedback_channels:
+        How many channels the serial feedback routine occupies.  Capped at
+        ``3(t+1)`` so witness groups can fill every feedback channel; using
+        a subset of channels is safe because listeners only tune within it.
+    params:
+        The Θ(·) constants in force.
+    """
+
+    n: int
+    channels: int
+    t: int
+    regime: Regime
+    proposal_size: int
+    feedback_channels: int
+    params: ProtocolParameters = DEFAULT_PARAMETERS
+
+    @property
+    def parallel_feedback(self) -> bool:
+        """True when the SQUARED regime's parallel-prefix merge is in use."""
+        return self.regime is Regime.SQUARED
+
+    def min_nodes_required(self) -> int:
+        """Smallest population the schedule can always satisfy.
+
+        Every move needs ``proposal_size`` witness groups of ``3(t+1)``
+        listeners, plus at most ``2 * proposal_size`` nodes busy in the
+        proposal — the paper's counting argument in Section 5.4: each
+        channel contributes at most two busy nodes (a node item, or an
+        edge's destination plus whichever of source/surrogate broadcasts;
+        an idle source is itself a destination or is covered by the unused
+        surrogate slot of another channel).  The ``+ 1`` mirrors the
+        paper's strict inequality ``n > 3(t+1)^2 + 2(t+1)``: at the base
+        proposal size this evaluates to exactly that bound plus one.
+        """
+        return (
+            self.proposal_size * witness_group_size(self.t)
+            + 2 * self.proposal_size
+            + 1
+        )
+
+    def validate(self) -> "FameConfig":
+        """Check regime arithmetic and population; returns ``self``."""
+        validate_model(self.n, self.channels, self.t)
+        if self.proposal_size < 1:
+            raise ConfigurationError("proposal_size must be >= 1")
+        if self.proposal_size > self.channels:
+            raise ConfigurationError(
+                f"proposal_size {self.proposal_size} exceeds C={self.channels}"
+            )
+        if self.regime is Regime.BASE and self.proposal_size != self.t + 1:
+            raise ConfigurationError("BASE regime uses proposals of t+1 items")
+        if self.regime is Regime.DOUBLE:
+            if self.t < 1:
+                raise ConfigurationError("DOUBLE regime needs t >= 1")
+            if self.channels < 2 * self.t:
+                raise ConfigurationError(
+                    f"DOUBLE regime needs C >= 2t (C={self.channels}, t={self.t})"
+                )
+        if self.regime is Regime.SQUARED:
+            if self.t < 1:
+                raise ConfigurationError("SQUARED regime needs t >= 1")
+            if self.channels < 2 * self.t * self.t:
+                raise ConfigurationError(
+                    f"SQUARED regime needs C >= 2t^2 "
+                    f"(C={self.channels}, t={self.t})"
+                )
+        if not self.parallel_feedback:
+            if self.feedback_channels <= self.t:
+                raise ConfigurationError(
+                    "serial feedback needs more channels than t"
+                )
+            if self.feedback_channels > self.channels:
+                raise ConfigurationError("feedback_channels exceeds C")
+            if self.feedback_channels > witness_group_size(self.t):
+                raise ConfigurationError(
+                    "feedback_channels exceeds the witness group size; "
+                    "witness sets could not occupy every feedback channel"
+                )
+        if self.n < self.min_nodes_required():
+            raise ConfigurationError(
+                f"f-AME in regime {self.regime.value} with t={self.t} and "
+                f"proposal size {self.proposal_size} needs "
+                f"n >= {self.min_nodes_required()} (got n={self.n})"
+            )
+        return self
+
+
+def make_config(
+    n: int,
+    channels: int,
+    t: int,
+    *,
+    regime: Regime | None = None,
+    params: ProtocolParameters = DEFAULT_PARAMETERS,
+) -> FameConfig:
+    """Build and validate a :class:`FameConfig`.
+
+    When ``regime`` is ``None``, the fastest regime the channel count admits
+    is selected (SQUARED over DOUBLE over BASE), mirroring Figure 3's advice
+    that more channels buy speed.
+    """
+    validate_model(n, channels, t)
+    if regime is None:
+        # Pick the regime with the largest proposal size (fastest per
+        # Figure 3) whose witness demand the population can satisfy; ties
+        # go to the simplest regime, so degenerate cases (e.g. t = 1,
+        # C = 2, where all rows coincide) stay BASE.
+        def fits(size: int) -> bool:
+            return n >= size * witness_group_size(t) + 2 * size + 1
+
+        candidates: list[tuple[int, int, Regime]] = [(t + 1, 0, Regime.BASE)]
+        if t >= 1 and channels >= 2 * t and fits(max(t + 1, 2 * t)):
+            candidates.append((max(t + 1, 2 * t), -1, Regime.DOUBLE))
+        if t >= 1 and channels >= 2 * t * t:
+            size = max(t + 1, channels // t)
+            if fits(size):
+                candidates.append((size, -2, Regime.SQUARED))
+        _, _, regime = max(candidates)
+
+    if regime is Regime.BASE:
+        proposal_size = t + 1
+    elif regime is Regime.DOUBLE:
+        proposal_size = max(t + 1, 2 * t)
+    else:
+        proposal_size = max(t + 1, channels // max(1, t))
+
+    feedback_channels = min(channels, witness_group_size(t))
+    config = FameConfig(
+        n=n,
+        channels=channels,
+        t=t,
+        regime=regime,
+        proposal_size=proposal_size,
+        feedback_channels=feedback_channels,
+        params=params,
+    )
+    return config.validate()
+
+
+def predicted_rounds(config: FameConfig, num_edges: int) -> float:
+    """Figure 3's asymptotic total round count for ``num_edges`` pairs.
+
+    Constants are normalised away; callers compare *shapes* (ratios across a
+    sweep), not absolute values.
+    """
+    n, t = config.n, config.t
+    log_n = max(1.0, math.log2(max(2, n)))
+    if config.regime is Regime.BASE:
+        return num_edges * (t + 1) ** 2 * log_n
+    if config.regime is Regime.DOUBLE:
+        return num_edges * log_n
+    return num_edges * log_n * log_n / max(1, t)

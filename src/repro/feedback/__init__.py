@@ -1,0 +1,26 @@
+"""The communication-feedback routine (Section 5.3, Figure 1).
+
+After a scheduled transmission round, all nodes must agree on *which channels
+were disrupted* — that agreement is what lets every node simulate the same
+referee response and keep identical game states (Invariant 1 of Theorem 6).
+
+:func:`run_feedback` implements Figure 1 verbatim: for each feedback slot a
+dedicated witness set occupies **every** feedback channel each repetition
+(so the adversary can never spoof a ``<true, r>`` frame — it can only
+collide), while all other nodes hop randomly and collect reports.
+
+:func:`run_parallel_feedback` implements the Section 5.5 parallel-prefix
+merge used when ``C >= 2t^2``, reducing a full invocation to
+``O(log^2 n)`` rounds.
+"""
+
+from .witness import WitnessAssignment, rank
+from .protocol import run_feedback
+from .parallel import run_parallel_feedback
+
+__all__ = [
+    "WitnessAssignment",
+    "rank",
+    "run_feedback",
+    "run_parallel_feedback",
+]

@@ -1,0 +1,226 @@
+"""Parallel-prefix feedback merging for the ``C >= 2t^2`` regime (Section 5.5).
+
+The serial routine of Figure 1 handles one slot at a time; with many channels
+the paper instead merges feedback *in parallel*: witness groups pair up, each
+pair gets a dedicated channel block, the two groups exchange their knowledge
+with a short randomized hop phase — all pairs simultaneously, since the
+blocks are channel-disjoint — and the merged groups recurse.  The tree has
+depth ``O(log C')`` and each level costs ``O(log n)`` rounds, for
+``O(log^2 n)`` total.  A final dissemination stage broadcasts the fully
+merged flag set to every participant.
+
+Reconstruction note (documented in DESIGN.md): the paper assigns each pair
+"a unique set of t channels", but a ``t``-channel block can be fully jammed
+by the budget-``t`` adversary, deterministically stalling that pair.  We
+assign ``2t``-channel blocks instead — the capacity ``C >= 2t^2`` admits
+``C'/2 = C/(2t) >= t`` simultaneous pairs needing ``C/(2t) * 2t = C``
+channels, which exactly fits — so every listener retains success probability
+``>= 1/2`` per round no matter how the adversary concentrates its budget,
+and the ``O(log^2 n)`` bound survives.  Each witness group must therefore
+hold at least ``2t`` members (one honest broadcaster per block channel,
+which is what keeps spoofing impossible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..radio.actions import Action, Listen, Transmit
+from ..radio.messages import Message
+from ..radio.network import RadioNetwork, RoundMeta
+from ..rng import RngRegistry
+
+MERGE_KIND = "feedback-merge"
+
+
+@dataclass
+class _Group:
+    """A witness group in the merge tree with its accumulated knowledge."""
+
+    members: tuple[int, ...]
+    knowledge: dict[int, bool]  # slot -> flag
+
+
+def _merge_frame(sender: int, tag: object, knowledge: Mapping[int, bool]) -> Message:
+    """A knowledge broadcast: the full (slot -> flag) map known so far."""
+    return Message(
+        kind=MERGE_KIND,
+        sender=sender,
+        payload=(tag, tuple(sorted(knowledge.items()))),
+    )
+
+
+def _run_transfer_rounds(
+    network: RadioNetwork,
+    transfers: Sequence[tuple[Sequence[int], Sequence[int], Sequence[int], Mapping[int, bool]]],
+    per_node_knowledge: dict[int, dict[int, bool]],
+    tag: object,
+    repetitions: int,
+    rng: RngRegistry,
+    phase: str,
+    rng_namespace: object,
+) -> None:
+    """Run ``repetitions`` rounds of simultaneous directed transfers.
+
+    Each transfer is ``(broadcasters, listeners, block_channels, knowledge)``;
+    blocks must be channel-disjoint (validated).  Every block channel is
+    occupied by an honest broadcaster each round, so adversarial frames can
+    only collide, never be decoded.  Listeners hop uniformly within their
+    block and merge any knowledge frame with a matching tag.
+    """
+    used_channels: set[int] = set()
+    for _, _, block, _ in transfers:
+        overlap = used_channels & set(block)
+        if overlap:
+            raise ConfigurationError(
+                f"transfer blocks overlap on channels {sorted(overlap)}"
+            )
+        used_channels.update(block)
+
+    for _rep in range(repetitions):
+        actions: dict[int, Action] = {}
+        for broadcasters, listeners, block, knowledge in transfers:
+            if len(broadcasters) < len(block):
+                raise ConfigurationError(
+                    f"group of {len(broadcasters)} cannot occupy a "
+                    f"{len(block)}-channel block"
+                )
+            for idx, channel in enumerate(block):
+                actions[broadcasters[idx]] = Transmit(
+                    channel, _merge_frame(broadcasters[idx], tag, knowledge)
+                )
+            for node in listeners:
+                stream = rng.stream(rng_namespace, "merge-listen", node)
+                actions[node] = Listen(stream.choice(list(block)))
+        results = network.execute_round(
+            actions, RoundMeta(phase=phase, extra={"tag": tag})
+        )
+        for node, received in results.items():
+            if received is not None and received.kind == MERGE_KIND:
+                recv_tag, items = received.payload
+                if recv_tag == tag:
+                    per_node_knowledge[node].update(dict(items))
+
+
+def run_parallel_feedback(
+    network: RadioNetwork,
+    witness_sets: Sequence[Sequence[int]],
+    flags: Mapping[int, bool],
+    participants: Sequence[int],
+    rng: RngRegistry,
+    *,
+    repetitions: int | None = None,
+    phase: str = "feedback-parallel",
+    rng_namespace: object = "feedback-parallel",
+) -> dict[int, set[int]]:
+    """Merge per-slot flags through a parallel-prefix tree; return each
+    participant's ``D`` (slot indices whose flag is true).
+
+    Parameters mirror :func:`repro.feedback.protocol.run_feedback`; here
+    ``witness_sets[r]`` must contain at least ``2t`` members, and the network
+    must offer enough channels for the first level's simultaneous blocks
+    (guaranteed by ``C >= 2t^2`` when ``len(witness_sets) <= C/t``).
+    """
+    t = network.t
+    block_size = max(1, 2 * t)
+    slots = len(witness_sets)
+    if slots == 0:
+        return {node: set() for node in participants}
+
+    groups: list[_Group] = []
+    per_node_knowledge: dict[int, dict[int, bool]] = {}
+    for r, witness_set in enumerate(witness_sets):
+        members = tuple(witness_set)
+        if len(members) < block_size:
+            raise ConfigurationError(
+                f"witness set {r} has {len(members)} members; the parallel "
+                f"merge needs at least 2t = {block_size}"
+            )
+        flag_values = {flags[w] for w in members if w in flags}
+        if len(flag_values) != 1:
+            raise ConfigurationError(
+                f"witness set {r} missing or inconsistent flags"
+            )
+        flag = next(iter(flag_values))
+        groups.append(_Group(members=members, knowledge={r: flag}))
+        for w in members:
+            per_node_knowledge[w] = {r: flag}
+    for node in participants:
+        per_node_knowledge.setdefault(node, {})
+
+    if repetitions is None:
+        # Block of 2t channels with at most t jammed: success probability
+        # >= 1/2 per round, matching the C = 2t feedback formula.
+        repetitions = network.params.feedback_repetitions(
+            network.n, max(2, block_size), min(t, max(2, block_size) - 1)
+        )
+
+    level = 0
+    while len(groups) > 1:
+        pairs = [
+            (groups[i], groups[i + 1]) for i in range(0, len(groups) - 1, 2)
+        ]
+        carry = [groups[-1]] if len(groups) % 2 == 1 else []
+        needed = len(pairs) * block_size
+        if needed > network.channels:
+            raise ConfigurationError(
+                f"parallel merge level {level} needs {needed} channels; "
+                f"only {network.channels} available (C >= 2t^2 required)"
+            )
+        # Two directed sub-phases; within each, all pairs run simultaneously
+        # on disjoint channel blocks.
+        for direction in (0, 1):
+            transfers = []
+            for pair_idx, (left, right) in enumerate(pairs):
+                src, dst = (left, right) if direction == 0 else (right, left)
+                block = tuple(
+                    range(pair_idx * block_size, (pair_idx + 1) * block_size)
+                )
+                transfers.append(
+                    (src.members, dst.members, block, src.knowledge)
+                )
+            _run_transfer_rounds(
+                network,
+                transfers,
+                per_node_knowledge,
+                tag=(level, direction),
+                repetitions=repetitions,
+                rng=rng,
+                phase=phase,
+                rng_namespace=(rng_namespace, level, direction),
+            )
+        next_groups: list[_Group] = []
+        for left, right in pairs:
+            merged_knowledge = dict(left.knowledge)
+            merged_knowledge.update(right.knowledge)
+            next_groups.append(
+                _Group(
+                    members=left.members + right.members,
+                    knowledge=merged_knowledge,
+                )
+            )
+        groups = next_groups + carry
+        level += 1
+
+    # Final dissemination: the root group broadcasts to everyone else.
+    root = groups[0]
+    block = tuple(range(block_size))
+    outsiders = [p for p in participants if p not in set(root.members)]
+    if outsiders:
+        _run_transfer_rounds(
+            network,
+            [(root.members, outsiders, block, root.knowledge)],
+            per_node_knowledge,
+            tag=("final", level),
+            repetitions=repetitions,
+            rng=rng,
+            phase=phase,
+            rng_namespace=(rng_namespace, "final"),
+        )
+
+    return {
+        node: {slot for slot, flag in per_node_knowledge[node].items() if flag}
+        for node in participants
+    }

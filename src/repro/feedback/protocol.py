@@ -1,0 +1,138 @@
+"""Figure 1: the communication-feedback routine, executed on the radio net.
+
+For each feedback slot ``r`` (reporting on one transmission-round channel),
+the routine runs ``Θ(C/(C-t) · log n)`` repetitions.  In each repetition:
+
+* every witness of slot ``r`` transmits on the feedback channel given by its
+  rank — ``<false>`` when its flag is false, ``<true, r>`` when true.  All
+  feedback channels are therefore occupied by honest broadcasters every
+  repetition, which is what makes spoofed ``<true, r>`` frames impossible
+  (they can only collide — the parenthetical in Lemma 5's proof);
+* every other participant listens on a uniformly random feedback channel and
+  records any ``<true, r>`` report it hears.
+
+A node adds ``r`` to its output set ``D`` iff it is a witness with a true
+flag, or it heard ``<true, r>``.  Lemma 5: with high probability all
+participants return identical ``D`` equal to the true flag set.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..radio.actions import Action, Listen, Transmit
+from ..radio.messages import Message
+from ..radio.network import RadioNetwork, RoundMeta
+from ..rng import RngRegistry
+from .witness import WitnessAssignment
+
+FEEDBACK_KIND = "feedback"
+"""Frame kind used by feedback broadcasts."""
+
+
+def feedback_true(sender: int, slot: int) -> Message:
+    """The ``<true, r>`` frame of Figure 1 line 16."""
+    return Message(kind=FEEDBACK_KIND, sender=sender, payload=("true", slot))
+
+
+def feedback_false(sender: int, slot: int) -> Message:
+    """The ``<false>`` frame of Figure 1 line 11 (slot kept for tracing)."""
+    return Message(kind=FEEDBACK_KIND, sender=sender, payload=("false", slot))
+
+
+def run_feedback(
+    network: RadioNetwork,
+    assignment: WitnessAssignment,
+    flags: Mapping[int, bool],
+    participants: Sequence[int],
+    rng: RngRegistry,
+    *,
+    repetitions: int | None = None,
+    phase: str = "feedback",
+    rng_namespace: object = "feedback",
+) -> dict[int, set[int]]:
+    """Execute one communication-feedback invocation.
+
+    Parameters
+    ----------
+    network:
+        The radio network to run on.
+    assignment:
+        Witness sets per slot and the feedback channel list.
+    flags:
+        Flag value per witness node.  Figure 1 assumes all witnesses of a
+        slot hold the same flag; we validate that, since a mismatch means
+        the caller's transmission round already violated the model.
+    participants:
+        Every node taking part (witnesses and listeners alike).  Witnesses
+        of slots other than the active one listen like everyone else.
+    rng:
+        Registry supplying each listener's private channel-hopping stream.
+    repetitions:
+        Inner-loop count; defaults to the
+        :meth:`~repro.params.ProtocolParameters.feedback_repetitions` of the
+        network's parameters.
+    phase:
+        Phase label stamped on round metadata (adversaries can see it).
+    rng_namespace:
+        Disambiguates listener streams across multiple invocations.
+
+    Returns
+    -------
+    dict mapping every participant to its output set ``D`` (slot indices).
+    """
+    channels = assignment.channels
+    participant_set = set(participants)
+    for witness_set in assignment.sets:
+        flag_values = {flags[w] for w in witness_set if w in flags}
+        if len(flag_values) > 1:
+            raise ConfigurationError(
+                "witnesses of one slot disagree on their flag; the "
+                "transmission round upstream was inconsistent"
+            )
+        missing = [w for w in witness_set if w not in flags]
+        if missing:
+            raise ConfigurationError(f"witnesses {missing} have no flag")
+        if not set(witness_set) <= participant_set:
+            raise ConfigurationError("witness outside participant set")
+
+    if repetitions is None:
+        repetitions = network.params.feedback_repetitions(
+            network.n, len(channels), network.t
+        )
+
+    outputs: dict[int, set[int]] = {node: set() for node in participants}
+
+    for slot in range(assignment.slots):
+        witnesses = assignment.witnesses_of(slot)
+        witness_set = set(witnesses)
+        slot_flag = flags[witnesses[0]]
+        if slot_flag:
+            for w in witnesses:
+                outputs[w].add(slot)  # Figure 1 line 14
+        for _rep in range(repetitions):
+            actions: dict[int, Action] = {}
+            for node in participants:
+                if node in witness_set:
+                    channel = channels[witnesses.index(node)]
+                    frame = (
+                        feedback_true(node, slot)
+                        if slot_flag
+                        else feedback_false(node, slot)
+                    )
+                    actions[node] = Transmit(channel, frame)
+                else:
+                    stream = rng.stream(rng_namespace, "listen", node)
+                    actions[node] = Listen(stream.choice(channels))
+            results = network.execute_round(
+                actions, RoundMeta(phase=phase, extra={"slot": slot})
+            )
+            for node, received in results.items():
+                if (
+                    received is not None
+                    and received.kind == FEEDBACK_KIND
+                    and received.payload == ("true", slot)
+                ):
+                    outputs[node].add(slot)
+    return outputs

@@ -1,0 +1,48 @@
+"""The (G, t)-starred-edge removal game (Section 5.1) and its solvers.
+
+The game abstracts f-AME's scheduling problem away from the radio network:
+
+* a *player* proposes ``t+1`` items — nodes of ``V`` or edges of ``E`` —
+  subject to Restrictions 1-4;
+* a *referee* (standing in for the adversary, who will jam ``t`` of the
+  ``t+1`` channels) grants a non-empty subset;
+* granted nodes join the starred set ``S`` (they have recruited surrogates);
+  granted edges leave ``E`` (their message got through);
+* the player wins once the remaining graph has a vertex cover of size
+  ``<= t``.
+
+The :func:`~repro.game.greedy.greedy_proposal` strategy (Section 5.2) wins in
+``O(|E|)`` moves against every referee (Theorem 4), and its termination
+certifies the cover bound (Lemma 3).
+"""
+
+from .graph import EdgeItem, GameGraph, Item, NodeItem
+from .rules import check_proposal, is_legal_proposal
+from .greedy import GreedyTermination, greedy_proposal, proposal_pools
+from .engine import GameResult, StarredEdgeRemovalGame
+from .referees import (
+    AdversarialReferee,
+    GenerousReferee,
+    RandomReferee,
+    Referee,
+    SingleGrantReferee,
+)
+
+__all__ = [
+    "AdversarialReferee",
+    "EdgeItem",
+    "GameGraph",
+    "GameResult",
+    "GenerousReferee",
+    "GreedyTermination",
+    "Item",
+    "NodeItem",
+    "RandomReferee",
+    "Referee",
+    "SingleGrantReferee",
+    "StarredEdgeRemovalGame",
+    "check_proposal",
+    "greedy_proposal",
+    "is_legal_proposal",
+    "proposal_pools",
+]

@@ -1,0 +1,92 @@
+"""The greedy-removal strategy (Section 5.2).
+
+Define, for the current game state ``G = (V, E)`` with starred set ``S``:
+
+* ``P1 = { v ∈ V \\ S : (v, *) ∈ E }`` — unstarred sources;
+* ``P2 = { (v, w) ∈ E : v, w ∉ P1 }`` — edges disjoint from ``P1`` (whose
+  sources are therefore necessarily starred).
+
+The strategy proposes any ``t+1`` items from ``P1 ∪ P2`` satisfying
+Restrictions 1-4, built deterministically here so that every f-AME node —
+running this code on an identical local game copy — derives the *same*
+proposal (Invariant 1 of Theorem 6).  When no such proposal exists, Lemma 3
+guarantees the graph's vertex cover is at most ``t`` and the game is won.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import EdgeItem, GameGraph, Item, NodeItem
+
+
+@dataclass(frozen=True)
+class GreedyTermination:
+    """Returned instead of a proposal when the greedy strategy has won.
+
+    Carries the certificate Lemma 3 constructs: the cover
+    ``V' = P1 ∪ {destinations of P2}`` of size at most ``t``.
+    """
+
+    cover: frozenset[int]
+
+
+def proposal_pools(
+    graph: GameGraph,
+) -> tuple[list[int], list[tuple[int, int]]]:
+    """Compute ``(P1, P2)`` for the current state, deterministically ordered.
+
+    ``P1`` is sorted by node id; ``P2`` is sorted by (destination, source)
+    so the destination-distinct selection below is canonical.
+    """
+    p1 = sorted(graph.sources() - graph.starred)
+    p1_set = set(p1)
+    p2 = sorted(
+        (
+            (v, w)
+            for (v, w) in graph.edges
+            if v not in p1_set and w not in p1_set
+        ),
+        key=lambda edge: (edge[1], edge[0]),
+    )
+    return p1, p2
+
+
+def greedy_proposal(
+    graph: GameGraph, t: int, *, max_items: int | None = None
+) -> list[Item] | GreedyTermination:
+    """One greedy-removal move: a legal proposal, or the termination proof.
+
+    The construction mirrors Lemma 3's existence argument:
+
+    * take up to ``max_items`` nodes from ``P1``;
+    * fill the remainder with destination-distinct edges from ``P2``
+      (one edge per destination, smallest source first).
+
+    ``max_items`` defaults to the paper's ``t + 1``; the multi-channel
+    regimes of Section 5.5 pass the larger channel budget (``2t`` or
+    ``C/t``), collecting as many items as available.  Termination happens
+    when fewer than ``t + 1`` items are collectable: then no legal proposal
+    exists at all (Lemma 3), and the returned :class:`GreedyTermination`
+    carries the ``<= t`` cover certificate.
+    """
+    if max_items is None:
+        max_items = t + 1
+    if max_items < t + 1:
+        raise ValueError("max_items must be at least t + 1")
+    p1, p2 = proposal_pools(graph)
+    items: list[Item] = [NodeItem(v) for v in p1[:max_items]]
+    chosen_dests: set[int] = set()
+    if len(items) < max_items:
+        for v, w in p2:
+            if w in chosen_dests:
+                continue
+            items.append(EdgeItem(v, w))
+            chosen_dests.add(w)
+            if len(items) == max_items:
+                break
+    if len(items) >= t + 1:
+        return items
+    # Termination: build Lemma 3's cover V' = P1 ∪ {dests of P2}.
+    cover = set(p1) | {w for _, w in p2}
+    return GreedyTermination(cover=frozenset(cover))

@@ -1,0 +1,91 @@
+"""Referee strategies for the starred-edge removal game.
+
+The referee models the adversary's jamming decision: of the ``t+1`` proposed
+items (channels), the adversary can suppress ``t``, so the referee grants a
+non-empty subset — in the radio simulation, exactly the items whose channels
+survived.  Playing the abstract game against different referees lets us
+measure the strategy's move count in isolation (experiment E1).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Sequence
+
+from ..errors import GameRuleViolation
+from .graph import EdgeItem, GameGraph, Item, NodeItem
+
+
+class Referee(abc.ABC):
+    """Chooses the granted subset of a legal proposal."""
+
+    @abc.abstractmethod
+    def grant(self, graph: GameGraph, proposal: Sequence[Item], t: int) -> list[Item]:
+        """Return a non-empty subset of ``proposal``."""
+
+
+class GenerousReferee(Referee):
+    """Grants the whole proposal — the no-adversary case."""
+
+    def grant(self, graph: GameGraph, proposal: Sequence[Item], t: int) -> list[Item]:
+        return list(proposal)
+
+
+class SingleGrantReferee(Referee):
+    """Grants exactly one item by position — the full-budget jammer.
+
+    ``position`` may be ``"first"`` or ``"last"``; it corresponds to the
+    schedule-aware jammer's ``suffix``/``prefix`` victim policies.
+    """
+
+    def __init__(self, position: str = "last") -> None:
+        if position not in ("first", "last"):
+            raise ValueError("position must be 'first' or 'last'")
+        self._position = position
+
+    def grant(self, graph: GameGraph, proposal: Sequence[Item], t: int) -> list[Item]:
+        if not proposal:
+            raise GameRuleViolation("cannot grant from an empty proposal")
+        return [proposal[0] if self._position == "first" else proposal[-1]]
+
+
+class AdversarialReferee(Referee):
+    """Grants the single item heuristically worst for the player.
+
+    Preference order: a node item (starring defers edge removal), then the
+    edge whose removal leaves the most remaining edges incident to its
+    endpoints (removing it helps the player least).  This is the strongest
+    single-grant heuristic we found; Theorem 4's bound holds regardless.
+    """
+
+    def grant(self, graph: GameGraph, proposal: Sequence[Item], t: int) -> list[Item]:
+        if not proposal:
+            raise GameRuleViolation("cannot grant from an empty proposal")
+        nodes = [item for item in proposal if isinstance(item, NodeItem)]
+        if nodes:
+            return [nodes[0]]
+        edges = [item for item in proposal if isinstance(item, EdgeItem)]
+
+        def residual_degree(edge: EdgeItem) -> int:
+            return sum(
+                1
+                for (v, w) in graph.edges
+                if edge.source in (v, w) or edge.dest in (v, w)
+            )
+
+        best = max(edges, key=lambda e: (residual_degree(e), e.pair))
+        return [best]
+
+
+class RandomReferee(Referee):
+    """Grants a uniformly random non-empty subset — a chaotic middle ground."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def grant(self, graph: GameGraph, proposal: Sequence[Item], t: int) -> list[Item]:
+        if not proposal:
+            raise GameRuleViolation("cannot grant from an empty proposal")
+        k = self._rng.randint(1, len(proposal))
+        return self._rng.sample(list(proposal), k)

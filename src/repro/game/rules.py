@@ -1,0 +1,114 @@
+"""Proposal Restrictions 1-4 of the starred-edge removal game (Section 5.1).
+
+A legal proposal ``P`` must satisfy:
+
+1. ``P`` has exactly ``t + 1`` items, each a node of ``V`` or an edge of ``E``;
+2. every node in ``P`` is unique — it appears in no edge of ``P`` as source
+   or destination (and node items are pairwise distinct);
+3. no two edges in ``P`` share a destination;
+4. two edges in ``P`` share a source ``v`` only if ``v ∈ S``.
+
+:func:`check_proposal` raises :class:`~repro.errors.GameRuleViolation` with a
+message naming the violated restriction; :func:`is_legal_proposal` is the
+boolean convenience wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import GameRuleViolation
+from .graph import EdgeItem, GameGraph, Item, NodeItem
+
+
+def check_proposal(
+    graph: GameGraph,
+    items: Sequence[Item],
+    t: int,
+    *,
+    max_items: int | None = None,
+) -> None:
+    """Validate ``items`` against Restrictions 1-4; raise on violation.
+
+    ``max_items`` generalises Restriction 1 for the multi-channel regimes of
+    Section 5.5: with ``C`` usable channels a proposal may hold up to ``C``
+    items, and any proposal of at least ``t + 1`` items still forces the
+    referee (who can jam only ``t`` channels) to grant something.  The paper's
+    base game is the default ``max_items = t + 1``.
+    """
+    # Restriction 1: size and membership.
+    if max_items is None:
+        max_items = t + 1
+    if not t + 1 <= len(items) <= max_items:
+        expected = (
+            f"exactly t+1={t + 1}"
+            if max_items == t + 1
+            else f"between t+1={t + 1} and {max_items}"
+        )
+        raise GameRuleViolation(
+            f"Restriction 1: proposal must have {expected} items, "
+            f"got {len(items)}"
+        )
+    node_items: list[NodeItem] = []
+    edge_items: list[EdgeItem] = []
+    for item in items:
+        if isinstance(item, NodeItem):
+            if item.node not in graph.vertices:
+                raise GameRuleViolation(
+                    f"Restriction 1: node {item.node} is not in V"
+                )
+            node_items.append(item)
+        elif isinstance(item, EdgeItem):
+            if item.pair not in graph.edges:
+                raise GameRuleViolation(
+                    f"Restriction 1: edge {item.pair} is not in E"
+                )
+            edge_items.append(item)
+        else:
+            raise GameRuleViolation(f"Restriction 1: unknown item {item!r}")
+
+    # Restriction 2: node uniqueness and disjointness from proposed edges.
+    node_ids = [item.node for item in node_items]
+    if len(set(node_ids)) != len(node_ids):
+        raise GameRuleViolation("Restriction 2: duplicate node items")
+    edge_endpoints = {v for e in edge_items for v in e.pair}
+    overlapping = set(node_ids) & edge_endpoints
+    if overlapping:
+        raise GameRuleViolation(
+            f"Restriction 2: nodes {sorted(overlapping)} also appear in "
+            "proposed edges"
+        )
+    if len(set(item.pair for item in edge_items)) != len(edge_items):
+        raise GameRuleViolation("Restriction 2: duplicate edge items")
+
+    # Restriction 3: destination-disjoint edges.
+    dests = [e.dest for e in edge_items]
+    if len(set(dests)) != len(dests):
+        raise GameRuleViolation(
+            "Restriction 3: two proposed edges share a destination"
+        )
+
+    # Restriction 4: shared sources must be starred.
+    source_counts: dict[int, int] = {}
+    for e in edge_items:
+        source_counts[e.source] = source_counts.get(e.source, 0) + 1
+    for source, count in source_counts.items():
+        if count > 1 and source not in graph.starred:
+            raise GameRuleViolation(
+                f"Restriction 4: source {source} repeats but is not starred"
+            )
+
+
+def is_legal_proposal(
+    graph: GameGraph,
+    items: Sequence[Item],
+    t: int,
+    *,
+    max_items: int | None = None,
+) -> bool:
+    """True iff ``items`` satisfies Restrictions 1-4."""
+    try:
+        check_proposal(graph, items, t, max_items=max_items)
+    except GameRuleViolation:
+        return False
+    return True

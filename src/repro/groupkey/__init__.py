@@ -1,0 +1,26 @@
+"""Shared group-key establishment (Section 6).
+
+Starting from **no** shared secrets, the protocol bootstraps a key known to
+all but at most ``t`` nodes and unknown to the adversary, in
+``O(n t^3 log n)`` rounds:
+
+1. f-AME over a :func:`~repro.groupkey.spanner.leader_spanner` exchanges
+   Diffie-Hellman publics, yielding authenticated pairwise keys;
+2. complete leaders disseminate their leader keys over key-derived
+   channel-hopping epochs, encrypted and authenticated;
+3. ``2t + 1`` reporters drive agreement on the smallest complete leader's
+   key.
+"""
+
+from .protocol import GroupKeyProtocol, establish_group_key
+from .result import GroupKeyResult
+from .spanner import choose_leaders, leader_spanner, spanner_size
+
+__all__ = [
+    "GroupKeyProtocol",
+    "GroupKeyResult",
+    "choose_leaders",
+    "establish_group_key",
+    "leader_spanner",
+    "spanner_size",
+]

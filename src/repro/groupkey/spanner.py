@@ -1,0 +1,59 @@
+"""The ``(t+1)``-leader spanner (Section 6, Part 1).
+
+The group-key setup initialises f-AME with a *sparse, (t+1)-connected* pair
+set: ``t + 1`` leader nodes, each paired with every other node, in both
+directions (Diffie-Hellman is a two-message exchange, so each unordered
+pair contributes two ordered AME pairs).  With ``t + 1`` leaders, the
+adversary — able to permanently disrupt only ``t`` nodes — cannot cut every
+leader off, so at least one leader completes pairwise exchanges with almost
+everyone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+def choose_leaders(n: int, t: int) -> tuple[int, ...]:
+    """The canonical leader set: the ``t + 1`` lowest node ids."""
+    if n < t + 2:
+        raise ConfigurationError(
+            f"need at least t+2 nodes for a leader spanner (n={n}, t={t})"
+        )
+    return tuple(range(t + 1))
+
+
+def leader_spanner(
+    n: int, t: int, leaders: Sequence[int] | None = None
+) -> list[tuple[int, int]]:
+    """The ordered pair set ``E_l = {(v, w) | v ∈ l or w ∈ l}``.
+
+    Contains both directions of every leader/non-leader pair and of every
+    leader/leader pair — ``(t+1)(2n - t - 2)`` ordered pairs, i.e. the
+    paper's ``O(n(t+1))`` edges.
+    """
+    if leaders is None:
+        leaders = choose_leaders(n, t)
+    leader_set = set(leaders)
+    if len(leader_set) != t + 1:
+        raise ConfigurationError(
+            f"need exactly t+1={t + 1} distinct leaders, got {len(leader_set)}"
+        )
+    if not all(0 <= v < n for v in leader_set):
+        raise ConfigurationError("leader ids out of range")
+    pairs: list[tuple[int, int]] = []
+    for v in range(n):
+        for w in range(n):
+            if v != w and (v in leader_set or w in leader_set):
+                pairs.append((v, w))
+    return pairs
+
+
+def spanner_size(n: int, t: int) -> int:
+    """Number of ordered pairs in the leader spanner."""
+    # Each of the t+1 leaders exchanges with n-1 others in both directions;
+    # leader-leader pairs would be double-counted.
+    leaders = t + 1
+    return leaders * (n - 1) * 2 - leaders * (leaders - 1)

@@ -1,0 +1,42 @@
+"""The synchronous multi-channel single-hop radio network substrate.
+
+This subpackage implements the communication model of Section 3 of the paper
+verbatim:
+
+* ``n`` nodes, ``C > 1`` channels, synchronous rounds, all nodes start
+  together;
+* each round a node transmits **or** receives on a single channel (or
+  sleeps);
+* exactly one transmitter on a channel ⇒ every listener on that channel
+  receives the transmission; zero or two-plus transmitters ⇒ listeners
+  receive nothing;
+* no collision detection — silence and collision are indistinguishable;
+* a malicious adversary may transmit on up to ``t < C`` channels per round
+  (jamming and/or spoofing) and observes everything with one round of delay.
+"""
+
+from .actions import Action, Listen, Sleep, Transmit
+from .messages import JAM, Jam, Message
+from .network import AdversaryView, RadioNetwork, RoundMeta
+from .trace import ExecutionTrace, RoundRecord
+from .metrics import NetworkMetrics
+from .export import channel_occupancy, dump_trace, trace_to_records
+
+__all__ = [
+    "Action",
+    "AdversaryView",
+    "ExecutionTrace",
+    "JAM",
+    "Jam",
+    "Listen",
+    "Message",
+    "NetworkMetrics",
+    "RadioNetwork",
+    "RoundMeta",
+    "RoundRecord",
+    "Sleep",
+    "Transmit",
+    "channel_occupancy",
+    "dump_trace",
+    "trace_to_records",
+]

@@ -1,0 +1,36 @@
+"""Per-round node actions: transmit, listen, or sleep.
+
+The model (Section 3) allows a node one action per round on one channel.
+These small frozen dataclasses make protocol round-functions explicit and
+easily assertable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .messages import Message
+
+
+@dataclass(frozen=True)
+class Transmit:
+    """Broadcast ``message`` on ``channel`` this round."""
+
+    channel: int
+    message: Message
+
+
+@dataclass(frozen=True)
+class Listen:
+    """Tune to ``channel`` and receive whatever single transmission succeeds."""
+
+    channel: int
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Do nothing this round (neither transmit nor receive)."""
+
+
+Action = Union[Transmit, Listen, Sleep]

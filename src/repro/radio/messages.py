@@ -1,0 +1,76 @@
+"""Message and jamming payload types for the radio model.
+
+A :class:`Message` is what a listener decodes when a transmission succeeds.
+Crucially — per Section 3 of the paper — the ``sender`` field is a *claim*,
+not a fact: communication is unauthenticated, so a spoofing adversary can put
+any node id in ``sender``.  Protocol code must never trust it except when the
+round's broadcast schedule makes spoofing impossible (the paper's first
+insight: on a fully scheduled round, an adversary transmission can only cause
+a collision, never a spoof).
+
+:class:`Jam` models undecodable noise.  A jam never reaches a listener as a
+message; its only effect is to collide with concurrent transmissions (or to
+occupy an otherwise-empty channel with noise, which listeners cannot
+distinguish from silence because the model has no collision detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """A decodable radio frame.
+
+    Attributes
+    ----------
+    kind:
+        Protocol-level frame type, e.g. ``"ame-data"``, ``"feedback-true"``.
+        Using explicit kinds lets receivers discard frames that cannot belong
+        to the current phase.
+    sender:
+        The *claimed* origin.  Never authenticated by the channel itself.
+    payload:
+        Arbitrary protocol content.  Must be treated as attacker-controlled
+        unless the schedule authenticates the round.
+    """
+
+    kind: str
+    sender: int | None = None
+    payload: Any = None
+
+    def __repr__(self) -> str:  # compact, trace-friendly
+        return f"Message({self.kind!r}, from={self.sender}, {self.payload!r})"
+
+
+@dataclass(frozen=True)
+class Jam:
+    """Undecodable noise injected by the adversary.
+
+    The ``note`` is metadata for traces/debugging only; it is never visible
+    to honest nodes.
+    """
+
+    note: str = ""
+
+    def __repr__(self) -> str:
+        return f"Jam({self.note!r})" if self.note else "Jam()"
+
+
+JAM = Jam()
+"""A shared default jam payload, for adversaries that don't annotate jams."""
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """An (channel, payload) pair offered to the medium in one round."""
+
+    channel: int
+    payload: Message | Jam = field(default=JAM)
+
+    @property
+    def is_jam(self) -> bool:
+        """True when the payload is noise rather than a decodable message."""
+        return isinstance(self.payload, Jam)

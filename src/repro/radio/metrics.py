@@ -1,0 +1,69 @@
+"""Lightweight counters aggregated while the simulation runs.
+
+Unlike :mod:`repro.radio.trace`, which stores everything, the metrics object
+keeps O(1) state and is always cheap enough to leave enabled — benchmark runs
+that disable trace retention still get round/energy accounting from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregate counters for one :class:`repro.radio.RadioNetwork` run.
+
+    Attributes
+    ----------
+    rounds:
+        Total synchronous rounds executed.
+    honest_transmissions:
+        Total (node, round) transmit actions — a proxy for energy spent.
+    listens:
+        Total (node, round) listen actions.
+    deliveries:
+        Channel-rounds on which a message was successfully decoded.
+    collisions:
+        Channel-rounds with two or more transmitters (honest or adversarial).
+    adversary_transmissions:
+        Total adversary (channel, round) transmissions.
+    spoofs_delivered:
+        Deliveries whose sole transmitter was the adversary — i.e. successful
+        spoofs at the *radio* level (a protocol may still reject the frame).
+    rounds_by_phase:
+        Round counts keyed by the ``phase`` annotation of round metadata.
+    """
+
+    rounds: int = 0
+    honest_transmissions: int = 0
+    listens: int = 0
+    deliveries: int = 0
+    collisions: int = 0
+    adversary_transmissions: int = 0
+    spoofs_delivered: int = 0
+    rounds_by_phase: dict[str, int] = field(default_factory=dict)
+
+    def note_phase(self, phase: str) -> None:
+        """Attribute the current round to ``phase``."""
+        self.rounds_by_phase[phase] = self.rounds_by_phase.get(phase, 0) + 1
+
+    def merge(self, other: "NetworkMetrics") -> "NetworkMetrics":
+        """Return a new metrics object summing ``self`` and ``other``."""
+        merged = NetworkMetrics(
+            rounds=self.rounds + other.rounds,
+            honest_transmissions=self.honest_transmissions
+            + other.honest_transmissions,
+            listens=self.listens + other.listens,
+            deliveries=self.deliveries + other.deliveries,
+            collisions=self.collisions + other.collisions,
+            adversary_transmissions=self.adversary_transmissions
+            + other.adversary_transmissions,
+            spoofs_delivered=self.spoofs_delivered + other.spoofs_delivered,
+        )
+        merged.rounds_by_phase = dict(self.rounds_by_phase)
+        for phase, count in other.rounds_by_phase.items():
+            merged.rounds_by_phase[phase] = (
+                merged.rounds_by_phase.get(phase, 0) + count
+            )
+        return merged

@@ -1,0 +1,265 @@
+"""The synchronous radio network simulator.
+
+:class:`RadioNetwork` resolves one round at a time.  The contract follows
+Section 3 of the paper exactly:
+
+* every honest node submits one :class:`~repro.radio.actions.Action`;
+* the adversary — asked *after* the honest actions are fixed but shown only
+  past history plus deterministic public metadata — submits up to ``t``
+  transmissions on distinct channels;
+* per channel: exactly one transmission ⇒ listeners decode it (if it is a
+  message rather than noise); zero or several ⇒ listeners hear nothing.
+  Listeners cannot distinguish silence, collision, and pure noise.
+
+The adversary's one-round observation delay is enforced structurally: the
+view object handed to the adversary contains the trace of *completed* rounds
+only, alongside the current round's public ``meta`` (which the adversary
+could derive itself, since protocols are known and their deterministic
+schedule depends only on public history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..errors import ConfigurationError, ProtocolViolation
+from ..params import ProtocolParameters, DEFAULT_PARAMETERS, validate_model
+from .actions import Action, Listen, Sleep, Transmit
+from .messages import Jam, Message, Transmission
+from .metrics import NetworkMetrics
+from .trace import ExecutionTrace, RoundRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..adversary.base import Adversary
+
+
+@dataclass(frozen=True)
+class RoundMeta:
+    """Public, deterministic annotations attached to a round.
+
+    ``phase`` labels the protocol phase (for metrics and adversaries);
+    ``schedule`` optionally exposes the deterministic broadcast schedule of
+    the round.  Exposing the schedule is not a leak: the paper's adversary
+    knows the protocol and all past randomness, so anything deterministic
+    given public history is already in its knowledge.
+    """
+
+    phase: str = ""
+    schedule: Mapping[str, Any] | None = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flatten into the dict stored on the round record."""
+        out: dict[str, Any] = {"phase": self.phase}
+        if self.schedule is not None:
+            out["schedule"] = self.schedule
+        out.update(self.extra)
+        return out
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """Everything the adversary may legitimately observe before acting.
+
+    Attributes
+    ----------
+    n, channels, t:
+        The public model parameters.
+    round_index:
+        Index of the round about to be resolved.
+    history:
+        The full trace of completed rounds — including every honest node's
+        past actions and random choices, per the paper's assumption that
+        "at the end of each round, the adversary learns all random choices
+        made in all completed rounds".
+    meta:
+        The current round's public metadata (phase, deterministic schedule).
+    """
+
+    n: int
+    channels: int
+    t: int
+    round_index: int
+    history: ExecutionTrace
+    meta: RoundMeta
+
+
+class RadioNetwork:
+    """Round-based simulator for the multi-channel radio model.
+
+    Parameters
+    ----------
+    n:
+        Number of honest nodes, with ids ``0 .. n-1``.
+    channels:
+        Number of channels ``C``; channels are ids ``0 .. C-1``.
+    t:
+        Adversary budget: distinct channels it may transmit on per round.
+    adversary:
+        Strategy object implementing
+        :class:`repro.adversary.base.Adversary`; ``None`` means no adversary.
+    params:
+        Protocol constants (used here only for the round cap).
+    keep_trace:
+        When ``False``, round records are not retained (metrics still are);
+        long benchmark runs use this to bound memory.  Note that adversaries
+        needing history force ``keep_trace=True``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        channels: int,
+        t: int,
+        adversary: "Adversary | None" = None,
+        *,
+        params: ProtocolParameters = DEFAULT_PARAMETERS,
+        keep_trace: bool = True,
+    ) -> None:
+        validate_model(n, channels, t)
+        self.n = n
+        self.channels = channels
+        self.t = t
+        self.params = params
+        self.adversary = adversary
+        self._keep_trace = keep_trace
+        if adversary is not None and adversary.needs_history and not keep_trace:
+            raise ConfigurationError(
+                "adversary requires history but keep_trace=False"
+            )
+        self.trace = ExecutionTrace()
+        self.metrics = NetworkMetrics()
+        self._round_index = 0
+
+    @property
+    def round_index(self) -> int:
+        """Index of the next round to execute."""
+        return self._round_index
+
+    # ------------------------------------------------------------------
+
+    def _validate_actions(self, actions: Mapping[int, Action]) -> None:
+        for node, action in actions.items():
+            if not 0 <= node < self.n:
+                raise ProtocolViolation(f"unknown node id {node}")
+            if isinstance(action, (Transmit, Listen)):
+                if not 0 <= action.channel < self.channels:
+                    raise ProtocolViolation(
+                        f"node {node} used invalid channel {action.channel} "
+                        f"(C={self.channels})"
+                    )
+            elif not isinstance(action, Sleep):
+                raise ProtocolViolation(
+                    f"node {node} submitted unknown action {action!r}"
+                )
+
+    def _validate_adversary(self, txs: list[Transmission]) -> None:
+        seen: set[int] = set()
+        for tx in txs:
+            if not 0 <= tx.channel < self.channels:
+                raise ProtocolViolation(
+                    f"adversary used invalid channel {tx.channel}"
+                )
+            if tx.channel in seen:
+                raise ProtocolViolation(
+                    f"adversary transmitted twice on channel {tx.channel}"
+                )
+            seen.add(tx.channel)
+        if len(seen) > self.t:
+            raise ProtocolViolation(
+                f"adversary transmitted on {len(seen)} channels; budget t={self.t}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def execute_round(
+        self,
+        actions: Mapping[int, Action],
+        meta: RoundMeta | None = None,
+    ) -> dict[int, Message | None]:
+        """Resolve one synchronous round.
+
+        Returns a dict mapping every *listening* node to what it received
+        (``None`` for silence/collision/noise).  Nodes that transmitted or
+        slept are absent from the result.
+        """
+        if (
+            self.params.max_rounds is not None
+            and self._round_index >= self.params.max_rounds
+        ):
+            raise ProtocolViolation(
+                f"round cap exceeded ({self.params.max_rounds} rounds); "
+                "likely a non-terminating configuration"
+            )
+        meta = meta or RoundMeta()
+        self._validate_actions(actions)
+
+        adversary_txs: list[Transmission] = []
+        if self.adversary is not None:
+            view = AdversaryView(
+                n=self.n,
+                channels=self.channels,
+                t=self.t,
+                round_index=self._round_index,
+                history=self.trace,
+                meta=meta,
+            )
+            adversary_txs = list(self.adversary.act(view))
+            self._validate_adversary(adversary_txs)
+
+        # Per-channel resolution.
+        transmitters: dict[int, list[Message | Jam]] = {}
+        for node, action in actions.items():
+            if isinstance(action, Transmit):
+                transmitters.setdefault(action.channel, []).append(action.message)
+        for tx in adversary_txs:
+            transmitters.setdefault(tx.channel, []).append(tx.payload)
+
+        delivered: dict[int, Message | None] = {}
+        for channel in range(self.channels):
+            payloads = transmitters.get(channel, [])
+            if len(payloads) == 1 and isinstance(payloads[0], Message):
+                delivered[channel] = payloads[0]
+            else:
+                delivered[channel] = None
+            if len(payloads) >= 2:
+                self.metrics.collisions += 1
+
+        # Bookkeeping.
+        honest_tx = sum(
+            1 for a in actions.values() if isinstance(a, Transmit)
+        )
+        listens = sum(1 for a in actions.values() if isinstance(a, Listen))
+        self.metrics.rounds += 1
+        self.metrics.honest_transmissions += honest_tx
+        self.metrics.listens += listens
+        self.metrics.adversary_transmissions += len(adversary_txs)
+        self.metrics.deliveries += sum(
+            1 for m in delivered.values() if m is not None
+        )
+        if meta.phase:
+            self.metrics.note_phase(meta.phase)
+
+        record = RoundRecord(
+            index=self._round_index,
+            actions=dict(actions),
+            adversary_transmissions=tuple(adversary_txs),
+            delivered=delivered,
+            meta=meta.as_dict(),
+        )
+        for channel, msg in delivered.items():
+            if msg is not None and record.was_spoofed(channel):
+                self.metrics.spoofs_delivered += 1
+        if self._keep_trace or (
+            self.adversary is not None and self.adversary.needs_history
+        ):
+            self.trace.append(record)
+        self._round_index += 1
+
+        # Per-listener results.
+        results: dict[int, Message | None] = {}
+        for node, action in actions.items():
+            if isinstance(action, Listen):
+                results[node] = delivered[action.channel]
+        return results

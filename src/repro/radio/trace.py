@@ -1,0 +1,151 @@
+"""Execution traces: a complete, queryable record of every simulated round.
+
+Traces serve three purposes:
+
+1. they are the *adversary's knowledge* — Section 3 grants the adversary full
+   knowledge of all completed rounds, which we implement by handing it the
+   trace;
+2. they let tests assert low-level radio behaviour (who collided with whom,
+   which spoofs were delivered);
+3. they feed the benchmark harness (round counts per phase, energy, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from .actions import Action, Listen, Transmit
+from .messages import Jam, Message, Transmission
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything that happened in one synchronous round.
+
+    Attributes
+    ----------
+    index:
+        0-based round number.
+    actions:
+        Each honest node's action this round (absent ⇒ slept).
+    adversary_transmissions:
+        The adversary's (channel, payload) pairs, at most ``t`` of them.
+    delivered:
+        Per channel, the message successfully decoded on that channel (or
+        ``None`` for silence/collision/jam).  A delivered message whose only
+        transmitter was the adversary is a successful *spoof*.
+    meta:
+        Public, deterministic protocol annotations for this round (phase
+        label, schedule) — information the adversary is entitled to because
+        it can derive it from the protocol code and past history.
+    """
+
+    index: int
+    actions: Mapping[int, Action]
+    adversary_transmissions: tuple[Transmission, ...]
+    delivered: Mapping[int, Message | None]
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    # -- convenience queries -------------------------------------------
+
+    def honest_transmitters(self, channel: int) -> list[int]:
+        """Node ids that transmitted on ``channel`` this round."""
+        return [
+            node
+            for node, action in self.actions.items()
+            if isinstance(action, Transmit) and action.channel == channel
+        ]
+
+    def listeners(self, channel: int) -> list[int]:
+        """Node ids that listened on ``channel`` this round."""
+        return [
+            node
+            for node, action in self.actions.items()
+            if isinstance(action, Listen) and action.channel == channel
+        ]
+
+    def adversary_channels(self) -> set[int]:
+        """Channels the adversary touched this round."""
+        return {tx.channel for tx in self.adversary_transmissions}
+
+    def was_jammed(self, channel: int) -> bool:
+        """True when the adversary transmitted on ``channel`` and a would-be
+        honest delivery was thereby suppressed (or noise occupied it)."""
+        return channel in self.adversary_channels()
+
+    def was_spoofed(self, channel: int) -> bool:
+        """True when the delivered message on ``channel`` originated solely
+        from the adversary."""
+        msg = self.delivered.get(channel)
+        if msg is None:
+            return False
+        if self.honest_transmitters(channel):
+            return False
+        return any(
+            not isinstance(tx.payload, Jam) and tx.payload == msg
+            for tx in self.adversary_transmissions
+            if tx.channel == channel
+        )
+
+    def received_by(self, node: int) -> Message | None:
+        """What ``node`` received this round (``None`` if it was not
+        listening, or heard silence/collision)."""
+        action = self.actions.get(node)
+        if not isinstance(action, Listen):
+            return None
+        return self.delivered.get(action.channel)
+
+
+class ExecutionTrace:
+    """Append-only sequence of :class:`RoundRecord` with summary queries."""
+
+    def __init__(self) -> None:
+        self._rounds: list[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        """Append a completed round (driver use only)."""
+        self._rounds.append(record)
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self._rounds)
+
+    def __getitem__(self, index: int) -> RoundRecord:
+        return self._rounds[index]
+
+    @property
+    def rounds(self) -> tuple[RoundRecord, ...]:
+        """All completed rounds as an immutable tuple."""
+        return tuple(self._rounds)
+
+    # -- summaries ------------------------------------------------------
+
+    def count_rounds(self, phase: str | None = None) -> int:
+        """Number of rounds, optionally restricted to a phase label."""
+        if phase is None:
+            return len(self._rounds)
+        return sum(1 for r in self._rounds if r.meta.get("phase") == phase)
+
+    def spoofed_deliveries(self) -> list[tuple[int, int, Message]]:
+        """All successful spoofs as ``(round, channel, message)`` triples."""
+        out: list[tuple[int, int, Message]] = []
+        for record in self._rounds:
+            for channel, msg in record.delivered.items():
+                if msg is not None and record.was_spoofed(channel):
+                    out.append((record.index, channel, msg))
+        return out
+
+    def jammed_rounds(self) -> int:
+        """Rounds in which the adversary transmitted at all."""
+        return sum(1 for r in self._rounds if r.adversary_transmissions)
+
+    def phase_breakdown(self) -> dict[str, int]:
+        """Round counts keyed by phase label (unlabelled rounds under '')."""
+        out: dict[str, int] = {}
+        for record in self._rounds:
+            key = str(record.meta.get("phase", ""))
+            out[key] = out.get(key, 0) + 1
+        return out

@@ -1,0 +1,21 @@
+"""The long-lived secure communication service (Section 7).
+
+After a one-time group-key setup, the service emulates a secure broadcast
+channel: ``Θ(t log n)`` real rounds per emulated round, with t-Reliability,
+Secrecy, and Authentication against the keyless adversary.
+"""
+
+from .emulated_channel import Delivery, LongLivedChannel, SERVICE_KIND
+from .pairwise import PairwiseChannel, PairwiseDelivery
+from .session import RekeyReport, SecureSession, SessionStats
+
+__all__ = [
+    "Delivery",
+    "LongLivedChannel",
+    "PairwiseChannel",
+    "PairwiseDelivery",
+    "RekeyReport",
+    "SERVICE_KIND",
+    "SecureSession",
+    "SessionStats",
+]

@@ -1,0 +1,274 @@
+"""An application-facing session over the long-lived channel (Section 7).
+
+:class:`SecureSession` wires the whole paper together: it establishes the
+group key with :mod:`repro.groupkey` (one-time ``Θ(n t^3 log n)``-round
+setup), opens a :class:`~repro.service.emulated_channel.LongLivedChannel`,
+and offers a queued send/broadcast API in which each emulated round carries
+one message — the simple collision-free schedule the emulated broadcast
+channel needs.
+
+Any pair can communicate whenever it chooses (unlike single-shot f-AME),
+each exchange costing ``Θ(t log n)`` real rounds.
+
+The session also supports **dynamic re-keying** (the introduction's
+motivation: "it might be useful to be able to re-key dynamically, for
+example, after the detection of a compromised device"): a surviving
+complete leader distributes a fresh group key over the Part 1 pairwise
+keys, skipping the compromised members, who can neither receive their
+(unscheduled) epoch nor decrypt anyone else's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..crypto.dh import DEFAULT_GROUP, DhGroup
+from ..crypto.hopping import ChannelHopper
+from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
+from ..errors import ConfigurationError, CryptoError
+from ..groupkey.protocol import GroupKeyProtocol
+from ..groupkey.result import GroupKeyResult
+from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.messages import Message
+from ..radio.network import RadioNetwork, RoundMeta
+from ..rng import RngRegistry
+from .emulated_channel import Delivery, LongLivedChannel
+
+REKEY_KIND = "rekey-frame"
+
+
+@dataclass(frozen=True)
+class RekeyReport:
+    """Outcome of one re-keying operation."""
+
+    generation: int
+    distributor: int
+    members: tuple[int, ...]
+    excluded: tuple[int, ...]
+    rounds: int
+
+
+@dataclass
+class SessionStats:
+    """Accounting for one session."""
+
+    setup_rounds: int = 0
+    emulated_rounds: int = 0
+    real_rounds: int = 0
+    sent: int = 0
+    delivered: int = 0
+    undelivered: int = 0
+    inboxes: dict[int, list[Delivery]] = field(default_factory=dict)
+
+
+class SecureSession:
+    """Setup-once, communicate-forever secure group communication.
+
+    Parameters
+    ----------
+    network:
+        The radio network.
+    rng:
+        Honest randomness registry.
+    group:
+        Diffie-Hellman group for the setup phase.
+
+    Usage
+    -----
+    >>> session = SecureSession(network, rng)      # doctest: +SKIP
+    ...                                            # setup: group key
+    >>> session.send(3, b"hello")                  # enqueue
+    >>> session.flush()                            # one emulated round each
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        rng: RngRegistry | None = None,
+        *,
+        group: DhGroup = DEFAULT_GROUP,
+    ) -> None:
+        self.network = network
+        self.rng = rng or RngRegistry(seed=0)
+        start = network.metrics.rounds
+        self.setup: GroupKeyResult = GroupKeyProtocol(
+            network, self.rng, group=group
+        ).run()
+        key = self.setup.group_key
+        if key is None:
+            raise ConfigurationError(
+                "setup failed: no leader completed the pairwise phase"
+            )
+        self.members = self.setup.holders()
+        self.channel = LongLivedChannel(network, key, self.members, self.rng)
+        self.stats = SessionStats(
+            setup_rounds=network.metrics.rounds - start,
+            inboxes={m: [] for m in self.members},
+        )
+        self._queue: deque[tuple[int, bytes]] = deque()
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+
+    def send(self, sender: int, payload: bytes) -> None:
+        """Enqueue a broadcast from ``sender`` (one emulated round each)."""
+        if sender not in self.channel.members:
+            raise ConfigurationError(f"node {sender} is not a member")
+        if not isinstance(payload, (bytes, bytearray)):
+            raise ConfigurationError("payload must be bytes")
+        self._queue.append((sender, bytes(payload)))
+        self.stats.sent += 1
+
+    def pending(self) -> int:
+        """Messages waiting to be flushed."""
+        return len(self._queue)
+
+    def flush(self, max_rounds: int | None = None) -> list[Delivery]:
+        """Drain the queue, one message per emulated round.
+
+        Returns the deliveries observed by receivers (deduplicated per
+        emulated round: one entry per receiving member).
+        """
+        out: list[Delivery] = []
+        start = self.network.metrics.rounds
+        while self._queue:
+            if max_rounds is not None and self.stats.emulated_rounds >= max_rounds:
+                break
+            sender, payload = self._queue.popleft()
+            deliveries = self.channel.run_round({sender: payload})
+            self.stats.emulated_rounds += 1
+            got_any = False
+            for member, delivery in deliveries.items():
+                if delivery is not None:
+                    got_any = True
+                    self.stats.inboxes[member].append(delivery)
+                    out.append(delivery)
+            if got_any:
+                self.stats.delivered += 1
+            else:
+                self.stats.undelivered += 1
+        self.stats.real_rounds += self.network.metrics.rounds - start
+        return out
+
+    def idle_round(self) -> None:
+        """Run one silent emulated round (keeps the hop pattern advancing)."""
+        self.channel.run_round({})
+        self.stats.emulated_rounds += 1
+
+    def inbox(self, member: int) -> list[Delivery]:
+        """All authenticated deliveries ``member`` has received."""
+        if member not in self.stats.inboxes:
+            raise ConfigurationError(f"node {member} is not a member")
+        return list(self.stats.inboxes[member])
+
+    # ------------------------------------------------------------------
+    # Dynamic re-keying.
+    # ------------------------------------------------------------------
+
+    def rekey(self, compromised: Iterable[int]) -> RekeyReport:
+        """Exclude ``compromised`` members and switch to a fresh group key.
+
+        The smallest non-compromised complete leader draws a fresh key and
+        sends it to every remaining member over that pair's Part 1
+        pairwise key — one ``Θ(t log n)`` hopping epoch per member, so the
+        whole operation costs ``Θ(n t^2 log n)`` rounds (a Part 2 rerun,
+        much cheaper than a full setup).  Compromised members have no
+        epoch scheduled and hold none of the other pairs' keys, so the new
+        group key is information they never see; the old channel is torn
+        down immediately.
+        """
+        excluded = frozenset(int(v) for v in compromised)
+        pair_keys = self.setup.pairwise_keys
+        candidates = [
+            v for v in self.setup.completed_leaders if v not in excluded
+        ]
+        if not candidates:
+            raise ConfigurationError(
+                "no non-compromised complete leader available to re-key"
+            )
+        distributor = min(candidates)
+        self._generation += 1
+        generation = self._generation
+        new_key = bytes(
+            self.rng.stream("rekey", generation).randbytes(32)
+        )
+
+        start = self.network.metrics.rounds
+        epoch_rounds = self.network.params.dissemination_epoch_rounds(
+            self.network.n, self.network.t
+        )
+        new_members = [distributor]
+        recipients = [
+            m
+            for m in self.channel.members
+            if m != distributor and m not in excluded
+        ]
+        for epoch_index, member in enumerate(recipients):
+            pair_key = pair_keys.get(frozenset((distributor, member)))
+            if pair_key is None:
+                continue  # never established in Part 1: stays excluded
+            hopper = ChannelHopper(
+                pair_key,
+                self.network.channels,
+                label=("rekey", generation, distributor, member),
+            )
+            cipher = AuthenticatedCipher(pair_key)
+            received = False
+            for r in range(epoch_rounds):
+                channel = hopper.channel(r)
+                sealed = cipher.encrypt(
+                    new_key,
+                    nonce=nonce_from_counter(generation, epoch_index, r),
+                    associated=b"rekey",
+                )
+                actions: dict[int, Action] = {
+                    node: Sleep() for node in range(self.network.n)
+                }
+                actions[distributor] = Transmit(
+                    channel,
+                    Message(
+                        kind=REKEY_KIND,
+                        sender=distributor,
+                        payload=(generation, sealed.as_tuple()),
+                    ),
+                )
+                actions[member] = Listen(channel)
+                frames = self.network.execute_round(
+                    actions,
+                    RoundMeta(
+                        phase="rekey",
+                        extra={"generation": generation, "member": member},
+                    ),
+                )
+                frame = frames.get(member)
+                if received or frame is None or frame.kind != REKEY_KIND:
+                    continue
+                try:
+                    _gen, sealed_tuple = frame.payload
+                    opened = cipher.decrypt(
+                        Ciphertext.from_tuple(sealed_tuple),
+                        associated=b"rekey",
+                    )
+                except (CryptoError, TypeError, ValueError):
+                    continue
+                if opened == new_key:
+                    received = True
+            if received:
+                new_members.append(member)
+
+        self.members = sorted(new_members)
+        self.channel = LongLivedChannel(
+            self.network, new_key, self.members, self.rng
+        )
+        for m in self.members:
+            self.stats.inboxes.setdefault(m, [])
+        report = RekeyReport(
+            generation=generation,
+            distributor=distributor,
+            members=tuple(self.members),
+            excluded=tuple(sorted(excluded)),
+            rounds=self.network.metrics.rounds - start,
+        )
+        return report

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.radio.network import RadioNetwork
+from repro.rng import RngRegistry
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    """A fresh deterministic registry per test."""
+    return RngRegistry(seed=12345)
+
+
+@pytest.fixture
+def adv_rng() -> random.Random:
+    """Adversary-private randomness, seeded independently of honest coins."""
+    return random.Random(0xADD)
+
+
+def make_network(
+    n: int = 20,
+    channels: int = 2,
+    t: int = 1,
+    adversary=None,
+    **kwargs,
+) -> RadioNetwork:
+    """Convenience network factory with small defaults (t=1 minimum pop)."""
+    return RadioNetwork(n, channels, t, adversary=adversary, **kwargs)
+
+
+@pytest.fixture
+def small_net() -> RadioNetwork:
+    """n=20, C=2, t=1 — the smallest comfortable f-AME configuration."""
+    return make_network()
+
+
+@pytest.fixture
+def medium_net() -> RadioNetwork:
+    """n=40, C=3, t=2 — exercises surrogates and multi-channel scheduling."""
+    return make_network(n=40, channels=3, t=2)

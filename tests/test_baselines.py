@@ -1,0 +1,247 @@
+"""Tests for the baselines: direct exchange, no-surrogate, oblivious gossip."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    NullAdversary,
+    RandomJammer,
+    SpoofingAdversary,
+    TriangleIsolationAdversary,
+)
+from repro.baselines import (
+    run_direct_exchange,
+    run_no_surrogate,
+    run_oblivious_gossip,
+)
+from repro.errors import ProtocolViolation
+from repro.radio.messages import Message
+from repro.rng import RngRegistry
+
+from conftest import make_network
+
+
+def triangle_workload(t: int):
+    """t vertex-disjoint triples with all intra-triple ordered edges,
+    plus disjoint easy pairs so the protocols always have work."""
+    triples = [(3 * i, 3 * i + 1, 3 * i + 2) for i in range(t)]
+    edges = [
+        (a, b) for tr in triples for a in tr for b in tr if a != b
+    ]
+    edges += [(20 + i, 30 + i) for i in range(4)]
+    return triples, edges
+
+
+class TestDirectExchange:
+    def test_all_delivered_without_adversary(self):
+        net = make_network(n=20, channels=2, t=1)
+        res = run_direct_exchange(net, [(0, 1), (2, 3), (4, 5)])
+        assert res.failed == []
+        assert res.delivered[(0, 1)] == ("msg", 0, 1)
+
+    def test_messages_respected(self):
+        net = make_network(n=20, channels=2, t=1)
+        res = run_direct_exchange(net, [(0, 1)], messages={(0, 1): "custom"})
+        assert res.delivered[(0, 1)] == "custom"
+
+    def test_rounds_much_cheaper_than_fame(self):
+        # The strawman has no feedback machinery; each sweep costs
+        # ceil(|pending| / C) rounds only.
+        net = make_network(n=20, channels=2, t=1)
+        res = run_direct_exchange(net, [(0, 1), (2, 3), (4, 5), (6, 7)])
+        assert res.rounds <= 3 * 2  # one sweep suffices, two rounds/sweep
+
+    def test_triangle_attack_forces_2t(self):
+        t = 2
+        triples, edges = triangle_workload(t)
+        net = make_network(
+            n=40, channels=t + 1, t=t,
+            adversary=TriangleIsolationAdversary(triples),
+        )
+        res = run_direct_exchange(net, edges, passes=5)
+        assert res.disruptability() == 2 * t
+
+    def test_input_validation(self):
+        net = make_network(n=20, channels=2, t=1)
+        with pytest.raises(ProtocolViolation):
+            run_direct_exchange(net, [(0, 0)])
+        with pytest.raises(ProtocolViolation):
+            run_direct_exchange(net, [(0, 77)])
+
+
+class TestNoSurrogate:
+    def test_delivers_when_enough_disjoint_pairs(self):
+        net = make_network(n=20, channels=2, t=1)
+        edges = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        res = run_no_surrogate(net, edges, rng=RngRegistry(seed=1))
+        assert res.failed == []
+
+    def test_terminates_below_matching_threshold(self):
+        # A single pending pair cannot form a t+1 proposal: it strands,
+        # within the 2t cover bound.
+        net = make_network(n=20, channels=2, t=1)
+        res = run_no_surrogate(net, [(0, 1)], rng=RngRegistry(seed=2))
+        assert res.failed == [(0, 1)]
+        assert res.disruptability() <= 2
+
+    def test_triangle_attack_forces_2t_adaptive(self):
+        t = 2
+        triples, edges = triangle_workload(t)
+        net = make_network(
+            n=40, channels=t + 1, t=t,
+            adversary=TriangleIsolationAdversary(triples),
+        )
+        res = run_no_surrogate(net, edges, rng=RngRegistry(seed=3))
+        assert res.disruptability() == 2 * t
+
+    def test_fame_beats_no_surrogate_on_same_workload(self):
+        # The paper's central resilience comparison (experiment E10).
+        from repro.fame import run_fame
+
+        t = 2
+        triples, edges = triangle_workload(t)
+        net_ns = make_network(
+            n=40, channels=t + 1, t=t,
+            adversary=TriangleIsolationAdversary(triples),
+        )
+        ns = run_no_surrogate(net_ns, edges, rng=RngRegistry(seed=4))
+        net_f = make_network(
+            n=40, channels=t + 1, t=t,
+            adversary=TriangleIsolationAdversary(triples),
+        )
+        fame = run_fame(net_f, edges, rng=RngRegistry(seed=4))
+        assert ns.disruptability() == 2 * t
+        assert fame.disruptability() <= t
+
+    def test_sender_awareness_consistency(self):
+        net = make_network(n=20, channels=2, t=1, adversary=RandomJammer(random.Random(5)))
+        edges = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        res = run_no_surrogate(net, edges, rng=RngRegistry(seed=5))
+        for pair, ok in res.outcomes.items():
+            assert ok == (pair in res.delivered)
+
+    def test_move_accounting(self):
+        net = make_network(n=20, channels=2, t=1)
+        res = run_no_surrogate(net, [(0, 1), (2, 3)], rng=RngRegistry(seed=6))
+        assert res.moves >= 1
+        assert res.rounds > res.moves  # feedback costs extra rounds
+
+
+class TestObliviousGossip:
+    def test_completes_without_adversary(self):
+        net = make_network(n=10, channels=2, t=1, keep_trace=False)
+        res = run_oblivious_gossip(net, RngRegistry(seed=1), max_rounds=60_000)
+        assert res.completed
+        assert res.coverage(1) >= 9
+
+    def test_round_cap_respected(self):
+        net = make_network(n=10, channels=2, t=1, keep_trace=False)
+        res = run_oblivious_gossip(net, RngRegistry(seed=2), max_rounds=10)
+        assert res.rounds <= 10
+        assert not res.completed
+
+    def test_slower_than_fame_per_pair(self):
+        # E9's shape: gossip needs far more rounds than f-AME for a matched
+        # "everyone hears these rumors" workload.
+        from repro.fame import run_fame
+
+        n = 18
+        net_g = make_network(n=n, channels=2, t=1, keep_trace=False)
+        gossip = run_oblivious_gossip(net_g, RngRegistry(seed=3), max_rounds=100_000)
+        net_f = make_network(n=n, channels=2, t=1, keep_trace=False)
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        fame = run_fame(net_f, edges, rng=RngRegistry(seed=3))
+        assert gossip.completed
+        assert gossip.rounds > fame.rounds / len(edges)  # per-pair gap
+
+    def test_accepts_spoofed_rumors(self):
+        # The security gap: a forged rumor claiming to be from a silent
+        # victim is accepted as real knowledge.
+        victim = 7
+
+        def forge(view, channel):
+            return Message(
+                kind="oblivious-rumor", sender=victim, payload=("rumor", victim)
+            )
+
+        net = make_network(
+            n=10, channels=2, t=1, keep_trace=False,
+            adversary=SpoofingAdversary(
+                random.Random(4), forge=forge, target_scheduled=False
+            ),
+        )
+        res = run_oblivious_gossip(net, RngRegistry(seed=4), max_rounds=2_000)
+        # Some node "learned" the victim's rumor from the adversary alone
+        # well before the victim's own rare transmissions could reach it —
+        # indistinguishable from the real thing.
+        others_knowing = sum(
+            1 for v, known in enumerate(res.knowledge) if v != victim and victim in known
+        )
+        assert others_knowing > 0
+
+    def test_tiny_population_rejected(self):
+        net = make_network(n=2, channels=2, t=1)
+        net.n = 1  # force the guard
+        with pytest.raises(ProtocolViolation):
+            run_oblivious_gossip(net, RngRegistry(seed=0))
+
+
+class TestBudgetAdversaryModel:
+    """The related-work model ([14, 17]): finite interference budgets.
+
+    The paper's adversary is unbounded; prior work bounds its total
+    transmissions.  Wrapping any strategy in BudgetAdversary reproduces
+    that weaker model — and protocols that merely outlast interference
+    (like repeated direct exchange) start succeeding fully, which is why
+    the paper's unbounded model needs the game machinery at all.
+    """
+
+    def test_direct_exchange_outlasts_a_budget(self):
+        from repro.adversary import BudgetAdversary, TriangleIsolationAdversary
+
+        t = 2
+        triples = [(0, 1, 2), (3, 4, 5)]
+        edges = [
+            (a, b) for tr in triples for a in tr for b in tr if a != b
+        ]
+        # Unbounded: the triangle attack wins forever (cover 2t).
+        net_unbounded = make_network(
+            n=40, channels=3, t=t,
+            adversary=TriangleIsolationAdversary(triples),
+        )
+        unbounded = run_direct_exchange(net_unbounded, edges, passes=8)
+        assert unbounded.disruptability() == 2 * t
+
+        # Bounded: after the budget is spent, every retry goes through.
+        net_bounded = make_network(
+            n=40, channels=3, t=t,
+            adversary=BudgetAdversary(
+                TriangleIsolationAdversary(triples), total_budget=20
+            ),
+        )
+        bounded = run_direct_exchange(net_bounded, edges, passes=8)
+        assert bounded.failed == []
+
+    def test_fame_unaffected_by_budget_wrapping(self):
+        from repro.adversary import BudgetAdversary, ScheduleAwareJammer
+
+        net = make_network(
+            n=20, channels=2, t=1,
+            adversary=BudgetAdversary(
+                ScheduleAwareJammer(random.Random(1), policy="prefix"),
+                total_budget=10,
+            ),
+        )
+        res = run_fame_budget(net)
+        assert res.disruptability() <= 1
+
+
+def run_fame_budget(net):
+    from repro.fame import run_fame
+
+    return run_fame(
+        net, [(0, 1), (2, 3), (4, 5), (6, 7)], rng=RngRegistry(seed=5)
+    )

@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line demos."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fame"])
+        assert args.nodes == 20 and args.channels == 2 and args.strength == 1
+        assert args.adversary == "schedule"
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fame", "--adversary", "nope"])
+
+
+class TestCommands:
+    def test_fame_command(self, capsys):
+        assert main(["fame", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "f-AME:" in out
+        assert "disruptability" in out
+
+    def test_fame_null_adversary_all_delivered(self, capsys):
+        assert main(["fame", "--adversary", "null"]) == 0
+        out = capsys.readouterr().out
+        assert "5/5 pairs delivered" in out
+
+    def test_gauntlet_command(self, capsys):
+        assert main(["gauntlet", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "worst cover" in out and "OK" in out
+
+    def test_groupkey_command(self, capsys):
+        assert main(["groupkey", "-n", "18", "--adversary", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "key fingerprint" in out
+
+    def test_service_command(self, capsys):
+        assert main(["service", "-n", "18", "--adversary", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "per-message cost" in out

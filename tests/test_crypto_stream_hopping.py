@@ -1,0 +1,160 @@
+"""Tests for authenticated encryption and channel hopping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hopping import ChannelHopper
+from repro.crypto.stream import (
+    AuthenticatedCipher,
+    Ciphertext,
+    nonce_from_counter,
+)
+from repro.errors import CryptoError
+
+KEY = b"k" * 32
+OTHER_KEY = b"j" * 32
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt(self):
+        c = AuthenticatedCipher(KEY)
+        sealed = c.encrypt(b"hello", nonce=b"n1")
+        assert c.decrypt(sealed) == b"hello"
+
+    def test_associated_data_bound(self):
+        c = AuthenticatedCipher(KEY)
+        sealed = c.encrypt(b"hello", nonce=b"n1", associated=b"sender:3")
+        assert c.decrypt(sealed, associated=b"sender:3") == b"hello"
+        with pytest.raises(CryptoError):
+            c.decrypt(sealed, associated=b"sender:4")
+
+    def test_empty_plaintext(self):
+        c = AuthenticatedCipher(KEY)
+        assert c.decrypt(c.encrypt(b"", nonce=b"n")) == b""
+
+    def test_ciphertext_differs_from_plaintext(self):
+        c = AuthenticatedCipher(KEY)
+        sealed = c.encrypt(b"secret-payload", nonce=b"n1")
+        assert sealed.body != b"secret-payload"
+        assert b"secret-payload" not in sealed.body
+
+    def test_distinct_nonces_distinct_ciphertexts(self):
+        c = AuthenticatedCipher(KEY)
+        s1 = c.encrypt(b"same", nonce=b"n1")
+        s2 = c.encrypt(b"same", nonce=b"n2")
+        assert s1.body != s2.body
+
+
+class TestAuthentication:
+    def test_wrong_key_rejected(self):
+        sealed = AuthenticatedCipher(KEY).encrypt(b"x", nonce=b"n")
+        with pytest.raises(CryptoError, match="bad tag"):
+            AuthenticatedCipher(OTHER_KEY).decrypt(sealed)
+
+    def test_tampered_body_rejected(self):
+        c = AuthenticatedCipher(KEY)
+        sealed = c.encrypt(b"attack at dawn", nonce=b"n")
+        tampered = Ciphertext(
+            nonce=sealed.nonce,
+            body=bytes([sealed.body[0] ^ 1]) + sealed.body[1:],
+            tag=sealed.tag,
+        )
+        with pytest.raises(CryptoError):
+            c.decrypt(tampered)
+
+    def test_tampered_nonce_rejected(self):
+        c = AuthenticatedCipher(KEY)
+        sealed = c.encrypt(b"x", nonce=b"n1")
+        moved = Ciphertext(nonce=b"n2", body=sealed.body, tag=sealed.tag)
+        with pytest.raises(CryptoError):
+            c.decrypt(moved)
+
+    def test_forged_tag_rejected(self):
+        c = AuthenticatedCipher(KEY)
+        sealed = c.encrypt(b"x", nonce=b"n")
+        forged = Ciphertext(nonce=sealed.nonce, body=sealed.body, tag=b"0" * 32)
+        with pytest.raises(CryptoError):
+            c.decrypt(forged)
+
+
+class TestSerialization:
+    def test_tuple_round_trip(self):
+        c = AuthenticatedCipher(KEY)
+        sealed = c.encrypt(b"x", nonce=b"n")
+        rebuilt = Ciphertext.from_tuple(sealed.as_tuple())
+        assert c.decrypt(rebuilt) == b"x"
+
+    def test_malformed_tuple_rejected(self):
+        with pytest.raises(CryptoError):
+            Ciphertext.from_tuple((b"a", b"b"))  # type: ignore[arg-type]
+        with pytest.raises(CryptoError):
+            Ciphertext.from_tuple(("a", b"b", b"c"))  # type: ignore[arg-type]
+
+    def test_nonce_from_counter(self):
+        assert nonce_from_counter(1, 2) != nonce_from_counter(2, 1)
+        assert len(nonce_from_counter(0)) == 8
+
+
+class TestValidation:
+    def test_short_key_rejected(self):
+        with pytest.raises(CryptoError):
+            AuthenticatedCipher(b"short")
+
+    def test_non_bytes_plaintext_rejected(self):
+        with pytest.raises(CryptoError):
+            AuthenticatedCipher(KEY).encrypt("str", nonce=b"n")  # type: ignore[arg-type]
+
+    def test_empty_nonce_rejected(self):
+        with pytest.raises(CryptoError):
+            AuthenticatedCipher(KEY).encrypt(b"x", nonce=b"")
+
+
+class TestChannelHopper:
+    def test_deterministic_random_access(self):
+        h1 = ChannelHopper(KEY, 5, "lbl")
+        h2 = ChannelHopper(KEY, 5, "lbl")
+        assert [h1.channel(r) for r in range(20)] == [h2.channel(r) for r in range(20)]
+
+    def test_label_separates_patterns(self):
+        a = ChannelHopper(KEY, 5, "a").sequence(0, 30)
+        b = ChannelHopper(KEY, 5, "b").sequence(0, 30)
+        assert a != b
+
+    def test_key_separates_patterns(self):
+        a = ChannelHopper(KEY, 5, "l").sequence(0, 30)
+        b = ChannelHopper(OTHER_KEY, 5, "l").sequence(0, 30)
+        assert a != b
+
+    def test_channels_in_range_and_all_visited(self):
+        h = ChannelHopper(KEY, 3, "l")
+        seq = h.sequence(0, 200)
+        assert all(0 <= c < 3 for c in seq)
+        assert set(seq) == {0, 1, 2}
+
+    def test_roughly_uniform(self):
+        h = ChannelHopper(KEY, 4, "uniform")
+        seq = h.sequence(0, 4000)
+        for c in range(4):
+            assert 0.2 < seq.count(c) / len(seq) < 0.3
+
+    def test_validation(self):
+        with pytest.raises(CryptoError):
+            ChannelHopper(KEY, 0)
+        with pytest.raises(CryptoError):
+            ChannelHopper("nope", 3)  # type: ignore[arg-type]
+        with pytest.raises(CryptoError):
+            ChannelHopper(KEY, 3).channel(-1)
+
+
+@given(
+    plaintext=st.binary(max_size=64),
+    nonce=st.binary(min_size=1, max_size=16),
+    associated=st.binary(max_size=16),
+)
+@settings(max_examples=100, deadline=None)
+def test_round_trip_property(plaintext, nonce, associated):
+    c = AuthenticatedCipher(KEY)
+    sealed = c.encrypt(plaintext, nonce=nonce, associated=associated)
+    assert c.decrypt(sealed, associated=associated) == plaintext

@@ -1,0 +1,23 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Documentation examples rot silently unless executed; the modules whose
+docstrings carry runnable examples are checked here.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.rng
+
+
+@pytest.mark.parametrize("module", [repro, repro.rng], ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, verbose=False, optionflags=doctest.ELLIPSIS
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one doctest example"

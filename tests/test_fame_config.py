@@ -1,0 +1,122 @@
+"""Tests for f-AME channel-regime configuration (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fame.config import (
+    FameConfig,
+    Regime,
+    make_config,
+    predicted_rounds,
+    witness_group_size,
+)
+
+
+class TestWitnessGroupSize:
+    def test_is_3_t_plus_1(self):
+        assert witness_group_size(1) == 6
+        assert witness_group_size(3) == 12
+
+
+class TestAutoRegime:
+    def test_minimal_channels_base(self):
+        assert make_config(40, 3, 2).regime is Regime.BASE
+
+    def test_double_regime_at_2t(self):
+        cfg = make_config(48, 4, 2)
+        assert cfg.regime is Regime.DOUBLE
+        assert cfg.proposal_size == 4
+
+    def test_population_shortfall_falls_back_to_base(self):
+        # n=40 cannot feed four witness groups of 3(t+1)=9 (needs 48), so
+        # the auto-pick stays BASE even though C >= 2t.
+        assert make_config(40, 4, 2).regime is Regime.BASE
+
+    def test_c_equals_2t_squared_ties_to_double(self):
+        # At C = 2t^2 exactly, C/t = 2t: transmission is identical to the
+        # DOUBLE row, so the tie-break picks the simpler serial feedback.
+        cfg = make_config(60, 8, 2)
+        assert cfg.regime is Regime.DOUBLE
+        assert cfg.proposal_size == 4
+
+    def test_degenerate_t1_c2_stays_base(self):
+        # At t=1, C=2 all three rows coincide; ties go to BASE.
+        assert make_config(20, 2, 1).regime is Regime.BASE
+
+    def test_larger_c_picks_bigger_proposals(self):
+        cfg = make_config(120, 16, 2)  # C/t = 8 > 2t = 4, needs n >= 96
+        assert cfg.regime is Regime.SQUARED
+        assert cfg.proposal_size == 8
+
+    def test_explicit_regime_respected(self):
+        cfg = make_config(60, 8, 2, regime=Regime.BASE)
+        assert cfg.regime is Regime.BASE
+        assert cfg.proposal_size == 3
+
+
+class TestValidation:
+    def test_population_bound_enforced(self):
+        with pytest.raises(ConfigurationError, match="n >="):
+            make_config(10, 2, 1)
+
+    def test_min_nodes_at_least_paper_bound(self):
+        cfg = make_config(40, 3, 2)
+        # paper: n > 3(t+1)^2 + 2(t+1) = 33; ours adds surrogate headroom.
+        assert cfg.min_nodes_required() >= 34
+
+    def test_double_needs_2t_channels(self):
+        with pytest.raises(ConfigurationError, match="2t"):
+            FameConfig(
+                n=60, channels=3, t=2, regime=Regime.DOUBLE,
+                proposal_size=3, feedback_channels=3,
+            ).validate()
+
+    def test_squared_needs_2t2_channels(self):
+        with pytest.raises(ConfigurationError, match="2t\\^2"):
+            FameConfig(
+                n=60, channels=6, t=2, regime=Regime.SQUARED,
+                proposal_size=3, feedback_channels=6,
+            ).validate()
+
+    def test_proposal_size_cannot_exceed_channels(self):
+        with pytest.raises(ConfigurationError, match="exceeds C"):
+            FameConfig(
+                n=60, channels=3, t=2, regime=Regime.BASE,
+                proposal_size=4, feedback_channels=3,
+            ).validate()
+
+    def test_base_regime_proposal_size_fixed(self):
+        with pytest.raises(ConfigurationError, match="t\\+1"):
+            FameConfig(
+                n=90, channels=5, t=2, regime=Regime.BASE,
+                proposal_size=4, feedback_channels=5,
+            ).validate()
+
+    def test_feedback_channels_bounded_by_witness_group(self):
+        with pytest.raises(ConfigurationError, match="witness group"):
+            FameConfig(
+                n=200, channels=20, t=2, regime=Regime.BASE,
+                proposal_size=3, feedback_channels=20,
+            ).validate()
+
+    def test_feedback_channels_capped_in_make_config(self):
+        cfg = make_config(200, 20, 2, regime=Regime.BASE)
+        assert cfg.feedback_channels == min(20, witness_group_size(2))
+
+
+class TestPredictedRounds:
+    def test_figure3_ordering(self):
+        # For fixed n, t, |E|: base >> double >= squared (per Figure 3).
+        base = predicted_rounds(make_config(60, 3, 2, regime=Regime.BASE), 50)
+        double = predicted_rounds(make_config(60, 4, 2, regime=Regime.DOUBLE), 50)
+        squared = predicted_rounds(make_config(60, 8, 2, regime=Regime.SQUARED), 50)
+        assert base > double
+        assert double >= squared / 10  # same order modulo log factors
+
+    def test_linear_in_edges(self):
+        cfg = make_config(60, 3, 2)
+        assert predicted_rounds(cfg, 100) == pytest.approx(
+            2 * predicted_rounds(cfg, 50)
+        )

@@ -1,0 +1,132 @@
+"""Tests for the greedy-removal strategy (Section 5.2), incl. property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.vertex_cover import vertex_cover_number
+from repro.game.graph import EdgeItem, GameGraph, NodeItem
+from repro.game.greedy import GreedyTermination, greedy_proposal, proposal_pools
+from repro.game.rules import is_legal_proposal
+
+
+class TestProposalPools:
+    def test_p1_is_unstarred_sources(self):
+        g = GameGraph.from_pairs([(0, 1), (2, 3)], vertices=range(6))
+        g.star(0)
+        p1, _p2 = proposal_pools(g)
+        assert p1 == [2]
+
+    def test_p2_edges_disjoint_from_p1(self):
+        # Edge (0,1): source 0 unstarred => 0 in P1 => edge not in P2.
+        # Edge (4,5): source 4 starred and 4,5 not in P1 => in P2.
+        g = GameGraph.from_pairs([(0, 1), (4, 5)], vertices=range(6))
+        g.star(4)
+        p1, p2 = proposal_pools(g)
+        assert p1 == [0]
+        assert p2 == [(4, 5)]
+
+    def test_p2_sorted_by_destination(self):
+        g = GameGraph.from_pairs([(0, 5), (1, 3)], vertices=range(6))
+        g.star(0)
+        g.star(1)
+        _p1, p2 = proposal_pools(g)
+        assert p2 == [(1, 3), (0, 5)]
+
+    def test_deterministic(self):
+        g = GameGraph.from_pairs([(3, 1), (0, 2), (4, 5)], vertices=range(6))
+        assert proposal_pools(g) == proposal_pools(g.copy())
+
+
+class TestGreedyProposal:
+    def test_nodes_first(self):
+        g = GameGraph.from_pairs([(0, 1), (2, 3)], vertices=range(6))
+        move = greedy_proposal(g, t=1)
+        assert move == [NodeItem(0), NodeItem(2)]
+
+    def test_fills_with_destination_distinct_p2_edges(self):
+        g = GameGraph.from_pairs([(0, 1), (0, 2)], vertices=range(6))
+        g.star(0)
+        move = greedy_proposal(g, t=1)
+        assert move == [EdgeItem(0, 1), EdgeItem(0, 2)]
+
+    def test_termination_returns_cover_certificate(self):
+        g = GameGraph.from_pairs([(0, 1)], vertices=range(4))
+        move = greedy_proposal(g, t=1)  # only one item available
+        assert isinstance(move, GreedyTermination)
+        assert move.cover == frozenset({0})
+
+    def test_termination_cover_bounded_by_t(self):
+        g = GameGraph.from_pairs([(0, 1), (0, 2), (0, 3)], vertices=range(6))
+        move = greedy_proposal(g, t=1)
+        assert isinstance(move, GreedyTermination)
+        assert len(move.cover) <= 1
+
+    def test_empty_graph_terminates_with_empty_cover(self):
+        g = GameGraph.from_pairs([], vertices=range(4))
+        move = greedy_proposal(g, t=2)
+        assert isinstance(move, GreedyTermination)
+        assert move.cover == frozenset()
+
+    def test_max_items_collects_more(self):
+        g = GameGraph.from_pairs(
+            [(0, 1), (2, 3), (4, 5), (6, 7)], vertices=range(8)
+        )
+        move = greedy_proposal(g, t=1, max_items=4)
+        assert len(move) == 4
+
+    def test_max_items_partial_fill_is_still_a_proposal(self):
+        g = GameGraph.from_pairs([(0, 1), (2, 3)], vertices=range(8))
+        move = greedy_proposal(g, t=1, max_items=4)
+        assert isinstance(move, list)
+        assert len(move) == 2  # >= t+1, so not termination
+
+    def test_max_items_below_t_plus_1_rejected(self):
+        g = GameGraph.from_pairs([(0, 1)], vertices=range(4))
+        with pytest.raises(ValueError):
+            greedy_proposal(g, t=2, max_items=2)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: the greedy proposal is always legal, and its
+# termination certificate is always a genuine vertex cover of size <= t.
+# ---------------------------------------------------------------------------
+
+edge_sets = st.sets(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    max_size=20,
+)
+
+
+@given(edges=edge_sets, t=st.integers(1, 3), star_seed=st.integers(0, 2**16))
+@settings(max_examples=120, deadline=None)
+def test_greedy_move_always_legal_or_certified(edges, t, star_seed):
+    import random
+
+    g = GameGraph.from_pairs(edges, vertices=range(12))
+    # Star a pseudo-random subset to explore mid-game states.
+    stars = random.Random(star_seed).sample(range(12), k=star_seed % 5)
+    for v in stars:
+        g.star(v)
+    move = greedy_proposal(g, t)
+    if isinstance(move, GreedyTermination):
+        # Certificate: a cover of size <= t that covers every edge.
+        assert len(move.cover) <= t
+        assert all(v in move.cover or w in move.cover for v, w in g.edges)
+        # And the exact minimum agrees it is <= t.
+        assert vertex_cover_number(g.edges) <= t
+    else:
+        assert is_legal_proposal(g, move, t)
+
+
+@given(edges=edge_sets, t=st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_greedy_with_wider_budget_still_legal(edges, t):
+    g = GameGraph.from_pairs(edges, vertices=range(12))
+    move = greedy_proposal(g, t, max_items=2 * t + 2)
+    if not isinstance(move, GreedyTermination):
+        assert is_legal_proposal(g, move, t, max_items=2 * t + 2)
+        assert len(move) >= t + 1

@@ -1,0 +1,100 @@
+"""Tests for proposal Restrictions 1-4 (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GameRuleViolation
+from repro.game.graph import EdgeItem, GameGraph, NodeItem
+from repro.game.rules import check_proposal, is_legal_proposal
+
+
+@pytest.fixture
+def graph() -> GameGraph:
+    g = GameGraph.from_pairs(
+        [(0, 1), (0, 2), (3, 4), (5, 6), (7, 8), (5, 8)],
+        vertices=range(12),
+    )
+    g.star(0)
+    return g
+
+
+class TestRestriction1:
+    def test_exact_size_required(self, graph):
+        items = [NodeItem(3), NodeItem(5)]
+        check_proposal(graph, items, t=1)  # size 2 == t+1
+        with pytest.raises(GameRuleViolation, match="Restriction 1"):
+            check_proposal(graph, items, t=2)
+
+    def test_unknown_node_rejected(self, graph):
+        with pytest.raises(GameRuleViolation, match="not in V"):
+            check_proposal(graph, [NodeItem(99), NodeItem(3)], t=1)
+
+    def test_unknown_edge_rejected(self, graph):
+        with pytest.raises(GameRuleViolation, match="not in E"):
+            check_proposal(graph, [EdgeItem(1, 0), NodeItem(3)], t=1)
+
+    def test_unknown_item_type_rejected(self, graph):
+        with pytest.raises(GameRuleViolation, match="unknown item"):
+            check_proposal(graph, ["bogus", NodeItem(3)], t=1)  # type: ignore[list-item]
+
+    def test_max_items_window(self, graph):
+        # Section 5.5 regimes: between t+1 and max_items items allowed.
+        items3 = [NodeItem(3), NodeItem(5), NodeItem(7)]
+        check_proposal(graph, items3, t=1, max_items=4)
+        check_proposal(graph, items3[:2], t=1, max_items=4)
+        with pytest.raises(GameRuleViolation, match="between"):
+            check_proposal(graph, [NodeItem(3)], t=1, max_items=4)
+
+
+class TestRestriction2:
+    def test_duplicate_nodes_rejected(self, graph):
+        with pytest.raises(GameRuleViolation, match="duplicate node"):
+            check_proposal(graph, [NodeItem(3), NodeItem(3)], t=1)
+
+    def test_node_overlapping_edge_source_rejected(self, graph):
+        with pytest.raises(GameRuleViolation, match="Restriction 2"):
+            check_proposal(graph, [NodeItem(3), EdgeItem(3, 4)], t=1)
+
+    def test_node_overlapping_edge_dest_rejected(self, graph):
+        with pytest.raises(GameRuleViolation, match="Restriction 2"):
+            check_proposal(graph, [NodeItem(4), EdgeItem(3, 4)], t=1)
+
+    def test_duplicate_edges_rejected(self, graph):
+        with pytest.raises(GameRuleViolation, match="duplicate edge"):
+            check_proposal(graph, [EdgeItem(3, 4), EdgeItem(3, 4)], t=1)
+
+
+class TestRestriction3:
+    def test_shared_destination_rejected(self, graph):
+        with pytest.raises(GameRuleViolation, match="Restriction 3"):
+            check_proposal(graph, [EdgeItem(7, 8), EdgeItem(5, 8)], t=1)
+
+    def test_distinct_destinations_accepted(self, graph):
+        check_proposal(graph, [EdgeItem(3, 4), EdgeItem(5, 6)], t=1)
+
+
+class TestRestriction4:
+    def test_shared_unstarred_source_rejected(self, graph):
+        graph.starred.clear()
+        with pytest.raises(GameRuleViolation, match="Restriction 4"):
+            check_proposal(graph, [EdgeItem(0, 1), EdgeItem(0, 2)], t=1)
+
+    def test_shared_starred_source_accepted(self, graph):
+        assert 0 in graph.starred
+        check_proposal(graph, [EdgeItem(0, 1), EdgeItem(0, 2)], t=1)
+
+    def test_single_edge_per_source_never_needs_star(self, graph):
+        graph.starred.clear()
+        check_proposal(graph, [EdgeItem(0, 1), EdgeItem(3, 4)], t=1)
+
+
+class TestIsLegal:
+    def test_boolean_wrapper(self, graph):
+        assert is_legal_proposal(graph, [NodeItem(3), NodeItem(5)], t=1)
+        assert not is_legal_proposal(graph, [NodeItem(3), NodeItem(3)], t=1)
+
+    def test_wrapper_respects_max_items(self, graph):
+        items = [NodeItem(3), NodeItem(5), NodeItem(7)]
+        assert not is_legal_proposal(graph, items, t=1)
+        assert is_legal_proposal(graph, items, t=1, max_items=3)

@@ -1,0 +1,92 @@
+"""End-to-end property tests: Theorem 6 over randomized workloads.
+
+Hypothesis drives random edge sets and adversary choices through full
+f-AME executions and checks the theorem-level invariants on every one:
+t-disruptability, authenticity (delivered == sent, verbatim), sender
+awareness consistency, and the Theorem 4 move bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary import (
+    NullAdversary,
+    RandomJammer,
+    ScheduleAwareJammer,
+    SpoofingAdversary,
+    SweepJammer,
+)
+from repro.baselines import run_no_surrogate
+from repro.fame import run_fame
+from repro.rng import RngRegistry
+
+from conftest import make_network
+
+N, T = 20, 1
+
+pair_strategy = st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)).filter(
+    lambda p: p[0] != p[1]
+)
+edge_sets = st.lists(pair_strategy, min_size=1, max_size=10, unique=True)
+
+ADVERSARY_FACTORIES = [
+    lambda r: NullAdversary(),
+    lambda r: RandomJammer(r),
+    lambda r: SweepJammer(),
+    lambda r: SpoofingAdversary(r),
+    lambda r: ScheduleAwareJammer(r, policy="prefix"),
+    lambda r: ScheduleAwareJammer(r, policy="random"),
+]
+
+
+@given(
+    edges=edge_sets,
+    adversary_index=st.integers(0, len(ADVERSARY_FACTORIES) - 1),
+    seed=st.integers(0, 2**20),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_fame_theorem6_properties(edges, adversary_index, seed):
+    adversary = ADVERSARY_FACTORIES[adversary_index](random.Random(seed))
+    net = make_network(n=N, channels=T + 1, t=T, adversary=adversary)
+    messages = {p: ("m", p, seed) for p in edges}
+    res = run_fame(net, edges, messages=messages, rng=RngRegistry(seed=seed))
+
+    # Theorem 6: t-disruptability.
+    assert res.is_d_disruptable(T)
+    # Authenticity: whatever arrived is exactly what was sent.
+    for pair, outcome in res.outcomes.items():
+        if outcome.success:
+            assert outcome.message == messages[pair]
+    # Sender awareness agrees with the outcomes.
+    for sender in {v for v, _ in edges}:
+        for pair, ok in res.sender_report(sender).items():
+            assert ok == res.outcomes[pair].success
+    # Theorem 4 move bound.
+    assert res.moves <= 3 * len(set(edges)) + T + 2
+    # The claimed cover certificate covers every failure.
+    for v, w in res.failed:
+        assert v in res.claimed_cover or w in res.claimed_cover
+
+
+@given(edges=edge_sets, seed=st.integers(0, 2**20))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_no_surrogate_2t_bound_property(edges, seed):
+    net = make_network(
+        n=N, channels=T + 1, t=T,
+        adversary=RandomJammer(random.Random(seed)),
+    )
+    res = run_no_surrogate(net, edges, rng=RngRegistry(seed=seed))
+    assert res.disruptability() <= 2 * T
+    for pair, ok in res.outcomes.items():
+        assert ok == (pair in res.delivered)

@@ -1,0 +1,44 @@
+"""Unit tests for message/transmission payload types."""
+
+from __future__ import annotations
+
+from repro.radio.messages import JAM, Jam, Message, Transmission
+
+
+class TestMessage:
+    def test_repr_compact(self):
+        msg = Message("ame-data", sender=3, payload=(1, 2))
+        assert repr(msg) == "Message('ame-data', from=3, (1, 2))"
+
+    def test_equality_by_value(self):
+        assert Message("k", 1, "p") == Message("k", 1, "p")
+        assert Message("k", 1, "p") != Message("k", 2, "p")
+
+    def test_defaults(self):
+        msg = Message("k")
+        assert msg.sender is None and msg.payload is None
+
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            Message("k").kind = "other"  # type: ignore[misc]
+
+
+class TestJam:
+    def test_repr_with_and_without_note(self):
+        assert repr(Jam()) == "Jam()"
+        assert repr(Jam("victim 3")) == "Jam('victim 3')"
+
+    def test_shared_default(self):
+        assert JAM == Jam()
+
+
+class TestTransmission:
+    def test_is_jam(self):
+        assert Transmission(0).is_jam
+        assert Transmission(0, JAM).is_jam
+        assert not Transmission(0, Message("k")).is_jam
+
+    def test_default_payload_is_jam(self):
+        assert Transmission(2).payload == JAM

@@ -1,0 +1,139 @@
+"""Tests for trace records and queries."""
+
+from __future__ import annotations
+
+from repro.radio.actions import Listen, Transmit
+from repro.radio.messages import JAM, Message, Transmission
+from repro.radio.trace import ExecutionTrace, RoundRecord
+from repro.radio.network import RoundMeta
+from repro.adversary.base import Adversary
+
+from conftest import make_network
+
+
+def _record(**kwargs) -> RoundRecord:
+    defaults = dict(
+        index=0,
+        actions={},
+        adversary_transmissions=(),
+        delivered={},
+        meta={},
+    )
+    defaults.update(kwargs)
+    return RoundRecord(**defaults)
+
+
+class TestRoundRecordQueries:
+    def test_honest_transmitters_and_listeners(self):
+        rec = _record(
+            actions={
+                0: Transmit(0, Message("d")),
+                1: Transmit(1, Message("d")),
+                2: Listen(0),
+            }
+        )
+        assert rec.honest_transmitters(0) == [0]
+        assert rec.honest_transmitters(1) == [1]
+        assert rec.listeners(0) == [2]
+        assert rec.listeners(1) == []
+
+    def test_adversary_channels_and_was_jammed(self):
+        rec = _record(
+            adversary_transmissions=(Transmission(1, JAM),),
+        )
+        assert rec.adversary_channels() == {1}
+        assert rec.was_jammed(1)
+        assert not rec.was_jammed(0)
+
+    def test_was_spoofed_true_only_for_sole_adversary_delivery(self):
+        fake = Message("spoof", sender=3)
+        rec = _record(
+            actions={2: Listen(0)},
+            adversary_transmissions=(Transmission(0, fake),),
+            delivered={0: fake},
+        )
+        assert rec.was_spoofed(0)
+
+    def test_was_spoofed_false_when_honest_transmitter_present(self):
+        real = Message("data", sender=0)
+        rec = _record(
+            actions={0: Transmit(0, real)},
+            delivered={0: real},
+        )
+        assert not rec.was_spoofed(0)
+
+    def test_was_spoofed_false_on_silence(self):
+        rec = _record(delivered={0: None})
+        assert not rec.was_spoofed(0)
+
+    def test_received_by(self):
+        m = Message("d", payload=1)
+        rec = _record(actions={2: Listen(0)}, delivered={0: m})
+        assert rec.received_by(2) == m
+        assert rec.received_by(0) is None  # was not listening
+
+
+class TestExecutionTrace:
+    def test_append_iter_getitem(self):
+        tr = ExecutionTrace()
+        r0, r1 = _record(index=0), _record(index=1)
+        tr.append(r0)
+        tr.append(r1)
+        assert len(tr) == 2
+        assert list(tr) == [r0, r1]
+        assert tr[1] is r1
+        assert tr.rounds == (r0, r1)
+
+    def test_count_rounds_by_phase(self):
+        tr = ExecutionTrace()
+        tr.append(_record(index=0, meta={"phase": "a"}))
+        tr.append(_record(index=1, meta={"phase": "b"}))
+        tr.append(_record(index=2, meta={"phase": "a"}))
+        assert tr.count_rounds() == 3
+        assert tr.count_rounds("a") == 2
+        assert tr.count_rounds("missing") == 0
+
+    def test_phase_breakdown(self):
+        tr = ExecutionTrace()
+        tr.append(_record(index=0, meta={"phase": "a"}))
+        tr.append(_record(index=1))
+        assert tr.phase_breakdown() == {"a": 1, "": 1}
+
+    def test_spoofed_deliveries_found_in_live_network(self):
+        fake = Message("spoof", sender=9, payload="forged")
+
+        class OneShotSpoofer(Adversary):
+            def act(self, view):
+                if view.round_index == 0:
+                    return (Transmission(1, fake),)
+                return ()
+
+        net = make_network(n=4, adversary=OneShotSpoofer())
+        net.execute_round({2: Listen(1)}, RoundMeta(phase="x"))
+        net.execute_round({2: Listen(1)})
+        spoofs = net.trace.spoofed_deliveries()
+        assert spoofs == [(0, 1, fake)]
+
+    def test_jammed_rounds(self):
+        tr = ExecutionTrace()
+        tr.append(_record(index=0, adversary_transmissions=(Transmission(0, JAM),)))
+        tr.append(_record(index=1))
+        assert tr.jammed_rounds() == 1
+
+
+class TestMetricsMerge:
+    def test_merge_sums_counters_and_phases(self):
+        from repro.radio.metrics import NetworkMetrics
+
+        a = NetworkMetrics(rounds=2, collisions=1)
+        a.note_phase("x")
+        b = NetworkMetrics(rounds=3, deliveries=4)
+        b.note_phase("x")
+        b.note_phase("y")
+        merged = a.merge(b)
+        assert merged.rounds == 5
+        assert merged.collisions == 1
+        assert merged.deliveries == 4
+        assert merged.rounds_by_phase == {"x": 2, "y": 1}
+        # inputs untouched
+        assert a.rounds == 2 and b.rounds == 3

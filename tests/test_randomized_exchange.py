@@ -1,0 +1,95 @@
+"""Unit tests for the randomized-exchange strawman (Theorem 2 victim)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import NullAdversary, RandomJammer, SimulatingAdversary
+from repro.baselines.randomized_exchange import (
+    RandomizedExchangeResult,
+    exchange_frame,
+    run_randomized_exchange,
+)
+from repro.errors import ProtocolViolation
+from repro.radio.messages import Transmission
+from repro.rng import RngRegistry
+
+from conftest import make_network
+
+
+class TestHonestRuns:
+    def test_delivery_without_adversary(self, rng):
+        net = make_network(n=10, channels=2, t=1, adversary=NullAdversary())
+        res = run_randomized_exchange(net, [(0, 1), (2, 3)], rng=rng)
+        assert res.accepted == res.genuine
+        assert res.spoofed == [] and res.undelivered == []
+        assert res.spoof_rate() == 0.0
+
+    def test_delivery_under_jamming(self, rng, adv_rng):
+        net = make_network(n=10, channels=2, t=1, adversary=RandomJammer(adv_rng))
+        res = run_randomized_exchange(net, [(0, 1)], rng=rng)
+        # The jammer can't spoof; at worst the pair hears nothing.
+        assert res.spoofed == []
+
+    def test_epoch_stops_early_on_acceptance(self, rng):
+        net = make_network(n=10, channels=2, t=1)
+        res = run_randomized_exchange(
+            net, [(0, 1)], rng=rng, epoch_rounds=500
+        )
+        assert res.rounds < 500  # accepted long before the cap
+
+    def test_custom_messages(self, rng):
+        net = make_network(n=10, channels=2, t=1)
+        res = run_randomized_exchange(
+            net, [(0, 1)], {(0, 1): "custom"}, rng=rng
+        )
+        assert res.accepted[(0, 1)] == "custom"
+
+    def test_validation(self, rng):
+        net = make_network(n=10, channels=2, t=1)
+        with pytest.raises(ProtocolViolation):
+            run_randomized_exchange(net, [(0, 0)], rng=rng)
+        with pytest.raises(ProtocolViolation):
+            run_randomized_exchange(net, [(0, 55)], rng=rng)
+
+
+class TestSpoofability:
+    def test_first_claim_wins_semantics(self, rng):
+        # With a simulating adversary injecting before the honest sender
+        # connects, the fake is accepted — there is nothing to check.
+        fake = ("fake",)
+
+        def simulate(view, arng):
+            return Transmission(
+                arng.randrange(view.channels), exchange_frame(0, 1, fake)
+            )
+
+        spoofs = 0
+        for seed in range(20):
+            net = make_network(
+                n=10, channels=2, t=1,
+                adversary=SimulatingAdversary(random.Random(seed), [simulate]),
+            )
+            res = run_randomized_exchange(
+                net, [(0, 1)], {(0, 1): ("real",)}, rng=RngRegistry(seed=seed)
+            )
+            if res.accepted.get((0, 1)) == fake:
+                spoofs += 1
+                assert (0, 1) in res.spoofed
+        assert spoofs > 0
+
+    def test_result_accounting(self):
+        res = RandomizedExchangeResult(
+            accepted={(0, 1): "fake", (2, 3): "real"},
+            genuine={(0, 1): "real", (2, 3): "real", (4, 5): "x"},
+            rounds=10,
+        )
+        assert res.spoofed == [(0, 1)]
+        assert res.undelivered == [(4, 5)]
+        assert res.spoof_rate() == pytest.approx(0.5)
+
+    def test_spoof_rate_empty(self):
+        res = RandomizedExchangeResult(accepted={}, genuine={}, rounds=0)
+        assert res.spoof_rate() == 0.0

@@ -1,0 +1,94 @@
+"""Tests for repro.rng: deterministic named substreams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rng import RngRegistry, derive_seed, sample_distinct, shuffled
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_sensitive_to_master_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_sensitive_to_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_64_bit_range(self):
+        s = derive_seed(123, "x")
+        assert 0 <= s < 2**64
+
+
+class TestRegistry:
+    def test_same_name_returns_same_stream_object(self):
+        reg = RngRegistry(seed=1)
+        assert reg.stream("node", 3) is reg.stream("node", 3)
+
+    def test_streams_replayable_across_registries(self):
+        a = RngRegistry(seed=9).stream("x")
+        b = RngRegistry(seed=9).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_distinct_names_give_independent_sequences(self):
+        reg = RngRegistry(seed=4)
+        xs = [reg.stream("a").random() for _ in range(8)]
+        ys = [RngRegistry(seed=4).stream("b").random() for _ in range(8)]
+        assert xs != ys
+
+    def test_name_parts_stringified_consistently(self):
+        reg = RngRegistry(seed=7)
+        # int 3 and str "3" collide by design (names are stringified);
+        # callers must use structured names, which the library does.
+        assert reg.stream("n", 3) is reg.stream("n", "3")
+
+    def test_fresh_restarts_the_stream(self):
+        reg = RngRegistry(seed=5)
+        first = reg.fresh("s").random()
+        again = reg.fresh("s").random()
+        assert first == again
+
+    def test_stream_advances_but_fresh_does_not_affect_it(self):
+        reg = RngRegistry(seed=5)
+        s = reg.stream("s")
+        v1 = s.random()
+        reg.fresh("s").random()
+        v2 = s.random()
+        assert v1 != v2  # stream advanced past its first draw
+
+    def test_spawn_creates_disjoint_namespace(self):
+        reg = RngRegistry(seed=6)
+        child = reg.spawn("sub")
+        assert child.seed != reg.seed
+        assert child.stream("x").random() != reg.stream("x").random()
+
+    def test_spawn_deterministic(self):
+        a = RngRegistry(seed=6).spawn("sub").stream("x").random()
+        b = RngRegistry(seed=6).spawn("sub").stream("x").random()
+        assert a == b
+
+    def test_seed_property(self):
+        assert RngRegistry(seed=42).seed == 42
+
+
+class TestHelpers:
+    def test_sample_distinct_size_and_membership(self):
+        reg = RngRegistry(seed=2)
+        out = sample_distinct(reg.stream("s"), range(10), 4)
+        assert len(out) == 4
+        assert len(set(out)) == 4
+        assert all(0 <= x < 10 for x in out)
+
+    def test_sample_distinct_overdraw_raises(self):
+        reg = RngRegistry(seed=2)
+        with pytest.raises(ValueError):
+            sample_distinct(reg.stream("s"), range(3), 4)
+
+    def test_shuffled_does_not_mutate_input(self):
+        reg = RngRegistry(seed=3)
+        original = [1, 2, 3, 4, 5]
+        out = shuffled(reg.stream("s"), original)
+        assert original == [1, 2, 3, 4, 5]
+        assert sorted(out) == original

@@ -1,0 +1,104 @@
+"""Property-based tests: greedy proposals always schedule cleanly.
+
+For arbitrary mid-game states (random edge sets, random starred subsets
+with plausible surrogate tables), the schedule derived from a greedy
+proposal must satisfy the radio-level invariants the correctness proof
+leans on:
+
+* every proposal item occupies exactly one distinct channel;
+* nobody broadcasts and listens in the same round;
+* surrogates hold the vector they broadcast and stand in only for starred
+  sources;
+* witness groups are sized 3(t+1), mutually disjoint, and disjoint from
+  every scheduled role.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fame.config import make_config, witness_group_size
+from repro.fame.schedule import build_schedule
+from repro.game.graph import GameGraph
+from repro.game.greedy import GreedyTermination, greedy_proposal
+
+N = 60
+T = 2
+CONFIG = make_config(N, T + 1, T)
+
+edge_sets = st.sets(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    min_size=3,
+    max_size=25,
+)
+
+
+@given(edges=edge_sets, star_seed=st.integers(0, 2**16))
+@settings(max_examples=120, deadline=None)
+def test_greedy_schedules_are_always_valid(edges, star_seed):
+    import random
+
+    graph = GameGraph.from_pairs(edges, vertices=range(N))
+    # Star a pseudo-random subset of sources and give each starred node a
+    # plausible surrogate table (as a successful starring round would).
+    stream = random.Random(star_seed)
+    sources = sorted(graph.sources())
+    starred = {v for v in sources if stream.random() < 0.5}
+    surrogates = {}
+    free_pool = [v for v in range(N) if v >= 20]
+    for i, v in enumerate(sorted(starred)):
+        graph.star(v)
+        size = witness_group_size(T)
+        surrogates[v] = tuple(free_pool[i * size : (i + 1) * size])
+
+    move = greedy_proposal(graph, T)
+    if isinstance(move, GreedyTermination):
+        return
+
+    schedule = build_schedule(CONFIG, move, graph.starred, surrogates)
+
+    # One distinct channel per item, in order.
+    assert schedule.channels_in_use == tuple(range(len(move)))
+
+    broadcasters = [a.broadcaster for a in schedule.assignments]
+    assert len(set(broadcasters)) == len(broadcasters)
+
+    listeners = schedule.listeners()
+    assert not set(broadcasters) & set(listeners)
+
+    for a in schedule.assignments:
+        if a.uses_surrogate:
+            assert a.source in graph.starred
+            assert a.broadcaster in surrogates[a.source]
+        if a.listener is not None:
+            assert listeners[a.listener] == a.channel
+
+    size = witness_group_size(T)
+    seen: set[int] = set()
+    involved = schedule.involved()
+    for group in schedule.witness_groups:
+        assert len(group) == size
+        assert not set(group) & seen
+        seen.update(group)
+    # Witness groups never overlap scheduled roles.
+    witness_union = {w for g in schedule.witness_groups for w in g}
+    scheduled_roles = set(broadcasters) | {
+        a.listener for a in schedule.assignments if a.listener is not None
+    } | {a.source for a in schedule.assignments}
+    assert not witness_union & scheduled_roles
+    assert witness_union <= involved | witness_union
+
+
+@given(edges=edge_sets)
+@settings(max_examples=60, deadline=None)
+def test_schedule_is_a_pure_function(edges):
+    graph = GameGraph.from_pairs(edges, vertices=range(N))
+    move = greedy_proposal(graph, T)
+    if isinstance(move, GreedyTermination):
+        return
+    s1 = build_schedule(CONFIG, move, graph.starred, {})
+    s2 = build_schedule(CONFIG, move, graph.starred, {})
+    assert s1 == s2
+    assert s1.meta_schedule() == s2.meta_schedule()

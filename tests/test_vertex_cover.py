@@ -1,0 +1,109 @@
+"""Tests for the exact vertex-cover solver, incl. brute-force cross-checks."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.vertex_cover import (
+    greedy_matching_cover,
+    has_cover_at_most,
+    min_vertex_cover,
+    vertex_cover_number,
+)
+
+
+def brute_force_cover_number(edges) -> int:
+    vertices = sorted({v for e in edges for v in e})
+    for k in range(len(vertices) + 1):
+        for subset in combinations(vertices, k):
+            s = set(subset)
+            if all(u in s or v in s for u, v in edges):
+                return k
+    return 0
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        assert min_vertex_cover([]) == set()
+        assert vertex_cover_number([]) == 0
+        assert has_cover_at_most([], 0)
+
+    def test_single_edge(self):
+        cover = min_vertex_cover([(0, 1)])
+        assert len(cover) == 1
+        assert cover <= {0, 1}
+
+    def test_triangle_needs_two(self):
+        assert vertex_cover_number([(0, 1), (1, 2), (2, 0)]) == 2
+
+    def test_star_needs_one(self):
+        edges = [(0, i) for i in range(1, 8)]
+        assert min_vertex_cover(edges) == {0}
+
+    def test_disjoint_edges_need_one_each(self):
+        edges = [(0, 1), (2, 3), (4, 5)]
+        assert vertex_cover_number(edges) == 3
+
+    def test_direction_ignored(self):
+        assert vertex_cover_number([(0, 1), (1, 0)]) == 1
+
+    def test_t_edge_disjoint_triangles_need_2t(self):
+        # The paper's 2t lower-bound structure for direct exchange.
+        edges = []
+        for base in (0, 3, 6):
+            a, b, c = base, base + 1, base + 2
+            edges += [(a, b), (b, c), (c, a)]
+        assert vertex_cover_number(edges) == 6
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            min_vertex_cover([(1, 1)])
+
+    def test_has_cover_negative_k(self):
+        assert not has_cover_at_most([(0, 1)], -1)
+
+    def test_hashable_nonint_vertices(self):
+        cover = min_vertex_cover([("a", "b"), ("b", "c")])
+        assert cover == {"b"}
+
+
+class TestGreedyApproximation:
+    def test_greedy_cover_is_a_cover(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]
+        cover = greedy_matching_cover(edges)
+        assert all(u in cover or v in cover for u, v in edges)
+
+    def test_greedy_within_factor_two(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        assert len(greedy_matching_cover(edges)) <= 2 * vertex_cover_number(edges)
+
+
+small_graphs = st.sets(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda e: e[0] != e[1]),
+    max_size=12,
+)
+
+
+@given(edges=small_graphs)
+@settings(max_examples=100, deadline=None)
+def test_exact_solver_matches_brute_force(edges):
+    edges = list(edges)
+    assert vertex_cover_number(edges) == brute_force_cover_number(edges)
+
+
+@given(edges=small_graphs)
+@settings(max_examples=100, deadline=None)
+def test_min_cover_actually_covers(edges):
+    edges = list(edges)
+    cover = min_vertex_cover(edges)
+    assert all(u in cover or v in cover for u, v in edges)
+
+
+@given(edges=small_graphs, k=st.integers(0, 8))
+@settings(max_examples=100, deadline=None)
+def test_decision_consistent_with_optimum(edges, k):
+    edges = list(edges)
+    assert has_cover_at_most(edges, k) == (vertex_cover_number(edges) <= k)
