@@ -23,7 +23,7 @@ from repro.params import ProtocolParameters, log2n
 from repro.rng import RngRegistry
 from repro.service import LongLivedChannel
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 EDGES = [(0, 1), (2, 3), (4, 5), (6, 7), (1, 8)]
 

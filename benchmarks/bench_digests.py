@@ -18,7 +18,7 @@ from repro.fame import run_fame, run_fame_with_digests
 from repro.radio.messages import Message
 from repro.rng import RngRegistry
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 N, T = 20, 1
 EDGES = [(0, 1), (0, 2), (0, 3), (4, 5), (6, 7)]

@@ -23,7 +23,7 @@ from repro.adversary import (
 from repro.fame import run_fame
 from repro.rng import RngRegistry
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 GALLERY = {
     "null": lambda r: NullAdversary(),

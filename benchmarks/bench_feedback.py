@@ -19,7 +19,7 @@ from repro.feedback.witness import WitnessAssignment
 from repro.params import log2n
 from repro.rng import RngRegistry
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 
 def run_one(n, t, seed):

@@ -21,7 +21,7 @@ from repro.adversary import ScheduleAwareJammer
 from repro.fame import Regime, make_config, predicted_rounds, run_fame
 from repro.rng import RngRegistry
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 T = 2
 N = 120

@@ -21,7 +21,7 @@ from repro.fame import run_fame
 from repro.radio.messages import Message
 from repro.rng import RngRegistry
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 
 def gossip_run(n, seed, adversary=None, max_rounds=400_000):

@@ -15,7 +15,7 @@ from repro.game.engine import StarredEdgeRemovalGame
 from repro.game.graph import GameGraph
 from repro.game.referees import AdversarialReferee, SingleGrantReferee
 
-from conftest import report
+from bench_common import report
 
 
 def complete(n):

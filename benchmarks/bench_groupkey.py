@@ -18,7 +18,7 @@ from repro.crypto.dh import TEST_GROUP_64
 from repro.groupkey import establish_group_key
 from repro.rng import RngRegistry
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 
 def run_one(n, t, seed):

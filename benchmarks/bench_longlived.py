@@ -18,7 +18,7 @@ from repro.params import log2n
 from repro.rng import RngRegistry
 from repro.service import LongLivedChannel, SecureSession
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 KEY = b"bench-key-for-emulated-channel!!"
 

@@ -21,7 +21,7 @@ from repro.fame import run_fame
 from repro.radio.messages import Transmission
 from repro.rng import RngRegistry
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 PAIR = (0, 10)
 REAL = ("real-msg",)

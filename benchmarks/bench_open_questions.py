@@ -21,7 +21,7 @@ from repro.extensions import (
 )
 from repro.rng import RngRegistry
 
-from conftest import report
+from bench_common import report
 
 N, C, T = 10, 3, 1
 SHARES = 4

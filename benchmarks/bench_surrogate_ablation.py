@@ -16,7 +16,7 @@ from repro.baselines import run_direct_exchange, run_no_surrogate
 from repro.fame import run_fame
 from repro.rng import RngRegistry
 
-from conftest import make_network, report
+from bench_common import make_network, report
 
 
 def triangle_workload(t):

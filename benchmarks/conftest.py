@@ -1,51 +1,29 @@
-"""Shared helpers for the benchmark harness.
+"""Pytest glue for the benchmark tree.
 
-Every paper table/figure has one module here (see DESIGN.md section 4).
-Benchmarks print the regenerated rows with :func:`report` — run with
-``pytest benchmarks/ --benchmark-only -s`` to see them — and attach the
-same numbers to ``benchmark.extra_info`` so they land in the JSON output.
+Benchmark helpers live in :mod:`bench_common`; import them from there, not
+from here.  This file must stay *drop-in compatible* with
+``tests/conftest.py``: pytest imports both under the bare module name
+``conftest`` (neither directory is a package), and whichever the collector
+touches first wins ``sys.modules["conftest"]`` for the whole run.  Any
+``from conftest import make_network`` — in a test or a benchmark — must
+therefore behave the same no matter which file answered, so the factory
+below mirrors the tests/ signature and defaults exactly (small model sizes,
+trace retention on).
 """
 
 from __future__ import annotations
 
-import random
-
-import pytest
-
 from repro.radio.network import RadioNetwork
 
+from bench_common import disjoint_pairs, random_pairs, report  # noqa: F401
 
-def make_network(n, channels, t, adversary=None, **kwargs):
-    """Network factory mirroring tests/conftest.py (benchmarks sizes)."""
-    kwargs.setdefault("keep_trace", False)
-    if adversary is not None and getattr(adversary, "needs_history", False):
-        kwargs["keep_trace"] = True
+
+def make_network(
+    n: int = 20,
+    channels: int = 2,
+    t: int = 1,
+    adversary=None,
+    **kwargs,
+) -> RadioNetwork:
+    """Convenience network factory with small defaults (t=1 minimum pop)."""
     return RadioNetwork(n, channels, t, adversary=adversary, **kwargs)
-
-
-def report(title: str, headers: list[str], rows: list[list]) -> None:
-    """Print one paper-style table."""
-    widths = [
-        max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
-        for i, h in enumerate(headers)
-    ]
-    print(f"\n=== {title} ===")
-    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
-    for row in rows:
-        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
-
-
-def disjoint_pairs(count: int, offset: int = 0) -> list[tuple[int, int]]:
-    """`count` vertex-disjoint ordered pairs starting at node `offset`."""
-    return [(offset + 2 * i, offset + 2 * i + 1) for i in range(count)]
-
-
-def random_pairs(count: int, n: int, seed: int) -> list[tuple[int, int]]:
-    """`count` distinct random ordered pairs over `n` nodes."""
-    rng = random.Random(seed)
-    pairs: set[tuple[int, int]] = set()
-    while len(pairs) < count:
-        v, w = rng.randrange(n), rng.randrange(n)
-        if v != w:
-            pairs.add((v, w))
-    return sorted(pairs)

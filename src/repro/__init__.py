@@ -44,6 +44,7 @@ from .params import DEFAULT_PARAMETERS, ProtocolParameters, min_population, vali
 from .rng import RngRegistry
 
 from .radio import (
+    SLEEP,
     ExecutionTrace,
     Jam,
     Listen,
@@ -71,6 +72,7 @@ from .game import (
     EdgeItem,
     GameGraph,
     GameResult,
+    GreedyPools,
     GreedyTermination,
     NodeItem,
     StarredEdgeRemovalGame,
@@ -118,6 +120,7 @@ __all__ = [
     "GameGraph",
     "GameResult",
     "GameRuleViolation",
+    "GreedyPools",
     "GreedyTermination",
     "GroupKeyProtocol",
     "GroupKeyResult",
@@ -139,6 +142,7 @@ __all__ = [
     "RngRegistry",
     "RoundMeta",
     "RoundRecord",
+    "SLEEP",
     "ScheduleAwareJammer",
     "ScheduleError",
     "SecureSession",

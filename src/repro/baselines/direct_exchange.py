@@ -23,7 +23,7 @@ from typing import Any, Mapping, Sequence
 
 from ..analysis.vertex_cover import min_vertex_cover
 from ..errors import ProtocolViolation
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 
@@ -98,9 +98,7 @@ def run_direct_exchange(
         while sweep:
             batch = _pack_round(sweep, network.channels)
             sweep = [p for p in sweep if p not in set(batch)]
-            actions: dict[int, Action] = {
-                node: Sleep() for node in range(network.n)
-            }
+            actions: dict[int, Action] = {}
             assignments: dict[int, dict[str, int | None]] = {}
             for channel, (v, w) in enumerate(batch):
                 actions[v] = Transmit(

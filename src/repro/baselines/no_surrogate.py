@@ -29,7 +29,7 @@ from ..analysis.vertex_cover import min_vertex_cover
 from ..errors import ProtocolViolation, SimulationDiverged
 from ..feedback.protocol import run_feedback
 from ..feedback.witness import WitnessAssignment
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 from ..rng import RngRegistry
@@ -114,7 +114,7 @@ def run_no_surrogate(
             for i in range(len(batch))
         ]
 
-        actions: dict[int, Action] = {node: Sleep() for node in range(network.n)}
+        actions: dict[int, Action] = {}
         assignments: dict[int, dict[str, int | None]] = {}
         for channel, (v, w) in enumerate(batch):
             actions[v] = Transmit(

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from ..errors import ProtocolViolation
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 from ..rng import RngRegistry
@@ -100,9 +100,7 @@ def run_randomized_exchange(
                 break
             stream_v = rng.stream("rand-exchange", v)
             stream_w = rng.stream("rand-exchange", w)
-            actions: dict[int, Action] = {
-                node: Sleep() for node in range(network.n)
-            }
+            actions: dict[int, Action] = {}
             actions[v] = Transmit(stream_v.randrange(network.channels), frame)
             actions[w] = Listen(stream_w.randrange(network.channels))
             results = network.execute_round(

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..errors import ConfigurationError, ProtocolViolation
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message, Transmission
 from ..radio.network import AdversaryView, RadioNetwork, RoundMeta
 from ..radio.trace import ExecutionTrace, RoundRecord
@@ -256,9 +256,7 @@ def run_share_spray(
         for _ in range(repetitions):
             stream_s = rng.stream("spray", sender)
             stream_r = rng.stream("spray", receiver)
-            actions: dict[int, Action] = {
-                node: Sleep() for node in range(network.n)
-            }
+            actions: dict[int, Action] = {}
             actions[sender] = Transmit(
                 stream_s.randrange(network.channels),
                 Message(kind=SHARE_KIND, sender=sender, payload=("share", share)),

@@ -43,7 +43,7 @@ from typing import Any, Mapping, Sequence
 
 from ..analysis.vertex_cover import min_vertex_cover
 from ..errors import ConfigurationError, ProtocolViolation, SimulationDiverged
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 from ..rng import RngRegistry
@@ -263,7 +263,7 @@ def run_byzantine_exchange(
             for i in range(len(batch))
         ]
 
-        actions: dict[int, Action] = {node: Sleep() for node in range(network.n)}
+        actions: dict[int, Action] = {}
         payloads: dict[tuple[int, int], Any] = {}
         for channel, (v, w) in enumerate(batch):
             payload = messages[(v, w)]

@@ -21,6 +21,18 @@ and schedules from identical state, so the driver computes each proposal once
 and *asserts* the per-node state agreement instead of recomputing ``n``
 identical greedy runs per move; the per-node feedback outputs — the only
 place where views can diverge — are tracked individually for every node.
+
+Engine note: the driver keeps **one** canonical :class:`GameGraph` (with
+incrementally-maintained greedy pools, see
+:class:`~repro.game.greedy.GreedyPools`) instead of ``n`` replicated copies.
+Each node's replica is represented by an O(1) *state fingerprint* advanced
+with every grant it applies (post-resynchronisation); Invariant 1 is
+asserted by fingerprint equality — O(n) per move — rather than by comparing
+``n`` full sorted state snapshots, which dominated the per-move cost at
+scale.  Radio rounds are submitted sparsely (only scheduled nodes); pass
+``dense_actions=True`` to reproduce the legacy behaviour of padding every
+idle node with an explicit ``Sleep``, which the engine-equivalence tests
+use to prove the two paths resolve identically.
 """
 
 from __future__ import annotations
@@ -31,10 +43,17 @@ from typing import Any, Mapping, Sequence
 from ..errors import ProtocolViolation, SimulationDiverged
 from ..feedback.parallel import run_parallel_feedback
 from ..feedback.protocol import run_feedback
-from ..game.graph import EdgeItem, GameGraph, NodeItem
-from ..game.greedy import GreedyTermination, greedy_proposal
+from ..game.graph import (
+    EdgeItem,
+    GameGraph,
+    NodeItem,
+    advance_fingerprint,
+    remove_edge_token,
+    star_token,
+)
+from ..game.greedy import GreedyPools, GreedyTermination
 from ..game.rules import check_proposal
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import SLEEP, Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 from ..rng import RngRegistry
@@ -61,6 +80,15 @@ def vector_frame(
     )
 
 
+def _fold_tokens(
+    fingerprint: int, tokens: Sequence[tuple[int, ...]]
+) -> int:
+    """Advance one replica fingerprint over an ordered grant sequence."""
+    for token in tokens:
+        fingerprint = advance_fingerprint(fingerprint, token)
+    return fingerprint
+
+
 def default_messages(
     edges: Sequence[tuple[int, int]]
 ) -> dict[tuple[int, int], Any]:
@@ -83,6 +111,10 @@ class FameProtocol:
         Registry for the honest nodes' random choices (feedback hopping).
     config:
         Channel-regime configuration; derived from the network when omitted.
+    dense_actions:
+        When ``True``, every radio round pads idle nodes with explicit
+        ``Sleep`` actions (the pre-sparse engine behaviour).  Kept for the
+        engine-equivalence tests; production callers leave it ``False``.
     """
 
     def __init__(
@@ -92,6 +124,8 @@ class FameProtocol:
         messages: Mapping[tuple[int, int], Any] | None = None,
         rng: RngRegistry | None = None,
         config: FameConfig | None = None,
+        *,
+        dense_actions: bool = False,
     ) -> None:
         self.network = network
         self.config = config or make_config(
@@ -110,12 +144,16 @@ class FameProtocol:
         if missing:
             raise ProtocolViolation(f"pairs without messages: {missing[:4]}")
         self.rng = rng or RngRegistry(seed=0)
+        self.dense_actions = dense_actions
 
-        # Per-node protocol state.
-        vertices = range(network.n)
-        self._graphs: list[GameGraph] = [
-            GameGraph.from_pairs(self.edges, vertices=vertices)
-            for _ in range(network.n)
+        # Game state: one canonical graph with live greedy pools, plus one
+        # O(1) state fingerprint per node standing in for its full replica.
+        self._graph = GameGraph.from_pairs(
+            self.edges, vertices=range(network.n)
+        )
+        self._pools = GreedyPools(self._graph)
+        self._fingerprints: list[int] = [
+            self._graph.fingerprint for _ in range(network.n)
         ]
         # knowledge[j][v] = j's copy of v's message vector.
         self._knowledge: list[dict[int, dict[int, Any]]] = [
@@ -129,8 +167,17 @@ class FameProtocol:
     # ------------------------------------------------------------------
 
     def _assert_invariant1(self) -> None:
-        keys = {g.state_key() for g in self._graphs}
-        if len(keys) != 1:  # pragma: no cover - grants are applied uniformly
+        """Invariant 1: every node's replica matches the canonical state.
+
+        Fingerprints advance once per applied grant, so equality here
+        certifies that all ``n`` replicas applied the same grant sequence —
+        the property the old implementation established by hashing ``n``
+        full sorted state snapshots every move.
+        """
+        canonical = self._graph.fingerprint
+        if any(  # pragma: no cover - grants are applied uniformly
+            fp != canonical for fp in self._fingerprints
+        ):
             raise SimulationDiverged(
                 "Invariant 1 violated: node-local game states differ"
             )
@@ -151,8 +198,9 @@ class FameProtocol:
             )
         for listener, channel in schedule.listeners().items():
             actions[listener] = Listen(channel)
-        for node in range(self.network.n):
-            actions.setdefault(node, Sleep())
+        if self.dense_actions:
+            for node in range(self.network.n):
+                actions.setdefault(node, SLEEP)
         results = self.network.execute_round(
             actions,
             RoundMeta(
@@ -241,9 +289,9 @@ class FameProtocol:
 
         while True:
             self._assert_invariant1()
-            canonical = self._graphs[0]
-            move = greedy_proposal(
-                canonical, self.config.t, max_items=self.config.proposal_size
+            canonical = self._graph
+            move = self._pools.proposal(
+                self.config.t, max_items=self.config.proposal_size
             )
             if isinstance(move, GreedyTermination):
                 claimed_cover = move.cover
@@ -264,16 +312,17 @@ class FameProtocol:
                 divergence_events += 1
                 disagreeing_total += disagreeing
 
+            grant_tokens: list[tuple[int, ...]] = []
             for slot in sorted(granted_slots):
                 assignment = schedule.assignment_for_slot(slot)
                 item = assignment.item
                 if isinstance(item, NodeItem):
-                    for graph in self._graphs:
-                        graph.star(item.node)
+                    self._pools.star(item.node)
+                    grant_tokens.append(star_token(item.node))
                     self._surrogates[item.node] = schedule.witness_groups[slot]
                 elif isinstance(item, EdgeItem):
-                    for graph in self._graphs:
-                        graph.remove_edge(item.pair)
+                    self._pools.remove_edge(item.pair)
+                    grant_tokens.append(remove_edge_token(item.pair))
                     dest_frame = results.get(item.dest)
                     if dest_frame is None:  # pragma: no cover - D is truthful
                         raise SimulationDiverged(
@@ -288,6 +337,11 @@ class FameProtocol:
                         message=delivered,
                         move=moves,
                     )
+            # Every node applies the agreed (post-resynchronisation) grant
+            # sequence to its replica: advance each fingerprint in lockstep.
+            self._fingerprints = [
+                _fold_tokens(fp, grant_tokens) for fp in self._fingerprints
+            ]
             moves += 1
             if moves > max_moves:
                 raise ProtocolViolation(
@@ -307,7 +361,7 @@ class FameProtocol:
             divergence_events=divergence_events,
             disagreeing_nodes=disagreeing_total,
             claimed_cover=claimed_cover,
-            starred=frozenset(self._graphs[0].starred),
+            starred=frozenset(self._graph.starred),
             surrogate_holders=dict(self._surrogates),
         )
 
@@ -319,8 +373,14 @@ def run_fame(
     rng: RngRegistry | None = None,
     *,
     config: FameConfig | None = None,
+    dense_actions: bool = False,
 ) -> FameResult:
     """Convenience wrapper: build a :class:`FameProtocol` and run it."""
     return FameProtocol(
-        network, edges, messages=messages, rng=rng, config=config
+        network,
+        edges,
+        messages=messages,
+        rng=rng,
+        config=config,
+        dense_actions=dense_actions,
     ).run()

@@ -18,7 +18,12 @@ certifies the cover bound (Lemma 3).
 
 from .graph import EdgeItem, GameGraph, Item, NodeItem
 from .rules import check_proposal, is_legal_proposal
-from .greedy import GreedyTermination, greedy_proposal, proposal_pools
+from .greedy import (
+    GreedyPools,
+    GreedyTermination,
+    greedy_proposal,
+    proposal_pools,
+)
 from .engine import GameResult, StarredEdgeRemovalGame
 from .referees import (
     AdversarialReferee,
@@ -34,6 +39,7 @@ __all__ = [
     "GameGraph",
     "GameResult",
     "GenerousReferee",
+    "GreedyPools",
     "GreedyTermination",
     "Item",
     "NodeItem",

@@ -11,11 +11,25 @@ Restrictions 1-4, built deterministically here so that every f-AME node —
 running this code on an identical local game copy — derives the *same*
 proposal (Invariant 1 of Theorem 6).  When no such proposal exists, Lemma 3
 guarantees the graph's vertex cover is at most ``t`` and the game is won.
+
+Two implementations share one selection routine:
+
+* :func:`greedy_proposal` derives ``(P1, P2)`` from scratch — O(m log m)
+  per call, fine for one-shot analysis and tests;
+* :class:`GreedyPools` maintains ``(P1, P2)`` *incrementally* across a run.
+  The game only ever moves one way — edges are removed, nodes are starred —
+  so ``P1`` monotonically shrinks and ``P2`` monotonically gains exactly
+  those edges whose endpoints dropped out of ``P1`` (minus removals).  Each
+  grant updates the pools in amortised O(log m), which is what lets the
+  f-AME driver propose in O(proposal) per move instead of re-deriving and
+  re-sorting the pools from the whole edge set every move.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
+from typing import Iterable
 
 from .graph import EdgeItem, GameGraph, Item, NodeItem
 
@@ -52,6 +66,43 @@ def proposal_pools(
     return p1, p2
 
 
+def _select(
+    p1: list[int],
+    p2_by_dest: "Iterable[tuple[int, int]]",
+    t: int,
+    max_items: int | None,
+) -> list[Item] | GreedyTermination:
+    """The shared greedy selection over deterministically ordered pools.
+
+    ``p1`` must be sorted by node id; ``p2_by_dest`` yields ``(dest,
+    source)`` pairs in ascending order and is consumed lazily — when the
+    proposal fills up, the remaining pool is never touched (which is what
+    keeps :meth:`GreedyPools.proposal` O(proposal) per move).  The
+    termination branch is only reachable after a full traversal, so
+    ``seen_dests`` then holds every P2 destination and Lemma 3's cover can
+    be built without re-iterating.
+    """
+    if max_items is None:
+        max_items = t + 1
+    if max_items < t + 1:
+        raise ValueError("max_items must be at least t + 1")
+    items: list[Item] = [NodeItem(v) for v in p1[:max_items]]
+    seen_dests: set[int] = set()
+    if len(items) < max_items:
+        for w, v in p2_by_dest:
+            if w in seen_dests:
+                continue
+            items.append(EdgeItem(v, w))
+            seen_dests.add(w)
+            if len(items) == max_items:
+                break
+    if len(items) >= t + 1:
+        return items
+    # Termination: build Lemma 3's cover V' = P1 ∪ {dests of P2}.
+    cover = set(p1) | seen_dests
+    return GreedyTermination(cover=frozenset(cover))
+
+
 def greedy_proposal(
     graph: GameGraph, t: int, *, max_items: int | None = None
 ) -> list[Item] | GreedyTermination:
@@ -70,23 +121,89 @@ def greedy_proposal(
     exists at all (Lemma 3), and the returned :class:`GreedyTermination`
     carries the ``<= t`` cover certificate.
     """
-    if max_items is None:
-        max_items = t + 1
-    if max_items < t + 1:
-        raise ValueError("max_items must be at least t + 1")
     p1, p2 = proposal_pools(graph)
-    items: list[Item] = [NodeItem(v) for v in p1[:max_items]]
-    chosen_dests: set[int] = set()
-    if len(items) < max_items:
-        for v, w in p2:
-            if w in chosen_dests:
-                continue
-            items.append(EdgeItem(v, w))
-            chosen_dests.add(w)
-            if len(items) == max_items:
-                break
-    if len(items) >= t + 1:
-        return items
-    # Termination: build Lemma 3's cover V' = P1 ∪ {dests of P2}.
-    cover = set(p1) | {w for _, w in p2}
-    return GreedyTermination(cover=frozenset(cover))
+    return _select(p1, ((w, v) for v, w in p2), t, max_items)
+
+
+class GreedyPools:
+    """Incrementally-maintained ``(P1, P2)`` pools bound to one game graph.
+
+    Wraps a :class:`~repro.game.graph.GameGraph` and mirrors every referee
+    grant into the pools, so :meth:`proposal` never rescans the edge set.
+    Route all grants through :meth:`star` / :meth:`remove_edge` — they
+    mutate the underlying graph *and* the pools together.
+
+    Correctness rests on the game's monotonicity: ``P1`` (unstarred
+    sources) only ever loses members — a vertex leaves when its last
+    outgoing edge is granted or when it is starred, and nothing ever
+    re-adds an edge or un-stars a node.  Consequently an edge enters ``P2``
+    at most once (the moment its second endpoint leaves ``P1``) and leaves
+    at most once (its own removal), giving amortised O(log m) per grant.
+    """
+
+    def __init__(self, graph: GameGraph) -> None:
+        self.graph = graph
+        self._out_degree: dict[int, int] = {}
+        self._incident: dict[int, set[tuple[int, int]]] = {}
+        for v, w in graph.edges:
+            self._out_degree[v] = self._out_degree.get(v, 0) + 1
+            self._incident.setdefault(v, set()).add((v, w))
+            self._incident.setdefault(w, set()).add((v, w))
+        p1, p2 = proposal_pools(graph)
+        self._p1: list[int] = p1
+        self._p1_set: set[int] = set(p1)
+        # P2 keyed (dest, source): the canonical selection order.
+        self._p2: list[tuple[int, int]] = [(w, v) for v, w in p2]
+        self._p2_set: set[tuple[int, int]] = set(p2)
+
+    # -- grant mirroring ------------------------------------------------
+
+    def star(self, node: int) -> None:
+        """Grant a node item: star it on the graph and update the pools."""
+        self.graph.star(node)
+        if node in self._p1_set:
+            self._drop_from_p1(node)
+
+    def remove_edge(self, edge: tuple[int, int]) -> None:
+        """Grant an edge item: remove it from the graph and the pools."""
+        self.graph.remove_edge(edge)
+        v, w = edge
+        self._incident[v].discard(edge)
+        self._incident[w].discard(edge)
+        if edge in self._p2_set:
+            self._p2_set.remove(edge)
+            self._p2.remove((w, v))
+        self._out_degree[v] -= 1
+        if self._out_degree[v] == 0 and v in self._p1_set:
+            self._drop_from_p1(v)
+
+    def _drop_from_p1(self, vertex: int) -> None:
+        """``vertex`` stops being an unstarred source; promote its edges."""
+        self._p1_set.remove(vertex)
+        self._p1.remove(vertex)
+        for edge in self._incident.get(vertex, ()):
+            a, b = edge
+            if (
+                a not in self._p1_set
+                and b not in self._p1_set
+                and edge not in self._p2_set
+            ):
+                self._p2_set.add(edge)
+                insort(self._p2, (b, a))
+
+    # -- queries --------------------------------------------------------
+
+    def pools(self) -> tuple[list[int], list[tuple[int, int]]]:
+        """Current ``(P1, P2)`` in the same order as :func:`proposal_pools`."""
+        return list(self._p1), [(v, w) for w, v in self._p2]
+
+    def proposal(
+        self, t: int, *, max_items: int | None = None
+    ) -> list[Item] | GreedyTermination:
+        """The greedy move for the current state, from the live pools.
+
+        Byte-for-byte identical to ``greedy_proposal(self.graph, t, ...)``
+        (the engine-equivalence tests assert exactly that), without the
+        per-move pool derivation or any copy of the pools.
+        """
+        return _select(self._p1, self._p2, t, max_items)

@@ -43,7 +43,7 @@ from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
 from ..fame.config import FameConfig, make_config
 from ..fame.protocol import FameProtocol
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 from ..rng import RngRegistry
@@ -206,9 +206,7 @@ class GroupKeyProtocol:
                     )
                     cipher = AuthenticatedCipher(pair_key)
                 for r in range(epoch_rounds):
-                    actions: dict[int, Action] = {
-                        node: Sleep() for node in range(self.n)
-                    }
+                    actions: dict[int, Action] = {}
                     if pair_key is not None:
                         channel = hopper.channel(r)
                         if v in leader_keys:
@@ -311,9 +309,7 @@ class GroupKeyProtocol:
                 for node in range(self.n):
                     stream = self.rng.stream("part3", node)
                     if node == reporter:
-                        if frame is None:
-                            actions[node] = Sleep()
-                        else:
+                        if frame is not None:
                             actions[node] = Transmit(
                                 stream.randrange(channels), frame
                             )

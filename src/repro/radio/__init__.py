@@ -15,7 +15,7 @@ verbatim:
   (jamming and/or spoofing) and observes everything with one round of delay.
 """
 
-from .actions import Action, Listen, Sleep, Transmit
+from .actions import SLEEP, Action, Listen, Sleep, Transmit
 from .messages import JAM, Jam, Message
 from .network import AdversaryView, RadioNetwork, RoundMeta
 from .trace import ExecutionTrace, RoundRecord
@@ -34,6 +34,7 @@ __all__ = [
     "RadioNetwork",
     "RoundMeta",
     "RoundRecord",
+    "SLEEP",
     "Sleep",
     "Transmit",
     "channel_occupancy",

@@ -3,12 +3,20 @@
 The model (Section 3) allows a node one action per round on one channel.
 These small frozen dataclasses make protocol round-functions explicit and
 easily assertable in tests.
+
+:class:`Listen` and :class:`Sleep` are *flyweights*: constructing
+``Listen(c)`` returns one shared instance per channel and ``Sleep()`` always
+returns the same singleton.  Protocols resolve millions of rounds, and the
+listen/sleep actions they submit are pure value objects with a tiny key
+space, so interning removes almost all per-round allocation on the hot path
+while keeping construction-site code unchanged.  ``SLEEP`` is the shared
+sleep instance for callers that want to skip the constructor call entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import ClassVar, Union
 
 from .messages import Message
 
@@ -21,16 +29,63 @@ class Transmit:
     message: Message
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class Listen:
     """Tune to ``channel`` and receive whatever single transmission succeeds."""
 
     channel: int
 
+    _interned: ClassVar[dict[int, "Listen"]] = {}
 
-@dataclass(frozen=True)
+    # init=False: instances are fully built here, so constructing an
+    # already-interned channel can never re-run an __init__ against the
+    # shared (frozen) instance.  Only exact ints are interned — equal but
+    # differently-typed keys (True, 1.0) get ordinary fresh instances, and
+    # validation of the channel *value* stays with the network.
+    def __new__(cls, channel: int) -> "Listen":
+        if type(channel) is int:
+            cached = cls._interned.get(channel)
+            if cached is None:
+                cached = super().__new__(cls)
+                object.__setattr__(cached, "channel", channel)
+                cls._interned[channel] = cached
+            return cached
+        instance = super().__new__(cls)
+        object.__setattr__(instance, "channel", channel)
+        return instance
+
+    def __copy__(self) -> "Listen":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Listen":
+        return self
+
+    def __reduce__(self):
+        return (Listen, (self.channel,))
+
+
+@dataclass(frozen=True, init=False)
 class Sleep:
     """Do nothing this round (neither transmit nor receive)."""
 
+    _instance: ClassVar["Sleep | None"] = None
+
+    def __new__(cls) -> "Sleep":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __copy__(self) -> "Sleep":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Sleep":
+        return self
+
+    def __reduce__(self):
+        return (Sleep, ())
+
+
+SLEEP = Sleep()
+"""The shared :class:`Sleep` flyweight (``Sleep()`` returns the same object)."""
 
 Action = Union[Transmit, Listen, Sleep]

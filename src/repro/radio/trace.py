@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
-from .actions import Action, Listen, Transmit
+from .actions import Action, Listen, Sleep, Transmit
 from .messages import Jam, Message, Transmission
 
 
@@ -96,6 +96,32 @@ class RoundRecord:
             return None
         return self.delivered.get(action.channel)
 
+    def canonical_form(self) -> dict:
+        """A semantics-preserving normal form for record comparison.
+
+        Two executions are behaviourally identical iff their records agree
+        on this form.  Explicit :class:`~repro.radio.actions.Sleep` entries
+        are dropped (a sleeping node is indistinguishable from an absent
+        one) and silent channels are dropped from ``delivered`` (silence on
+        an untouched channel carries no information) — which makes the form
+        invariant under dense vs. sparse action submission.
+        """
+        return {
+            "index": self.index,
+            "actions": {
+                node: action
+                for node, action in sorted(self.actions.items())
+                if not isinstance(action, Sleep)
+            },
+            "adversary": self.adversary_transmissions,
+            "delivered": {
+                channel: msg
+                for channel, msg in sorted(self.delivered.items())
+                if msg is not None
+            },
+            "meta": dict(self.meta),
+        }
+
 
 class ExecutionTrace:
     """Append-only sequence of :class:`RoundRecord` with summary queries."""
@@ -120,6 +146,12 @@ class ExecutionTrace:
     def rounds(self) -> tuple[RoundRecord, ...]:
         """All completed rounds as an immutable tuple."""
         return tuple(self._rounds)
+
+    def canonical_forms(self) -> list[dict]:
+        """Normal forms of every round (see
+        :meth:`RoundRecord.canonical_form`) — the trace-equality oracle used
+        by the engine-equivalence tests."""
+        return [record.canonical_form() for record in self._rounds]
 
     # -- summaries ------------------------------------------------------
 

@@ -31,7 +31,7 @@ from ..crypto.hashes import canonical_encode
 from ..crypto.hopping import ChannelHopper
 from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 from ..rng import RngRegistry
@@ -161,9 +161,7 @@ class LongLivedChannel:
 
         for _ in range(self.epoch_length()):
             channel = self._hopper.channel(self._real_round_cursor)
-            actions: dict[int, Action] = {
-                node: Sleep() for node in range(self.network.n)
-            }
+            actions: dict[int, Action] = {}
             for sender, frame in sealed.items():
                 actions[sender] = Transmit(channel, frame)
             for member in listeners:

@@ -19,7 +19,7 @@ from ..crypto.hashes import canonical_encode
 from ..crypto.hopping import ChannelHopper
 from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 
@@ -127,9 +127,7 @@ class PairwiseChannel:
         for _ in range(self.epoch_length()):
             channel = self._hopper.channel(self._cursor)
             self._cursor += 1
-            actions: dict[int, Action] = {
-                node: Sleep() for node in range(self.network.n)
-            }
+            actions: dict[int, Action] = {}
             actions[sender] = Transmit(channel, frame)
             actions[receiver] = Listen(channel)
             results = self.network.execute_round(

@@ -30,7 +30,7 @@ from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
 from ..groupkey.protocol import GroupKeyProtocol
 from ..groupkey.result import GroupKeyResult
-from ..radio.actions import Action, Listen, Sleep, Transmit
+from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
 from ..rng import RngRegistry
@@ -223,9 +223,7 @@ class SecureSession:
                     nonce=nonce_from_counter(generation, epoch_index, r),
                     associated=b"rekey",
                 )
-                actions: dict[int, Action] = {
-                    node: Sleep() for node in range(self.network.n)
-                }
+                actions: dict[int, Action] = {}
                 actions[distributor] = Transmit(
                     channel,
                     Message(
