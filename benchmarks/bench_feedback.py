@@ -4,16 +4,30 @@ Measures the radio-round cost of one full feedback invocation across a
 ``t`` sweep (fixed n) and an ``n`` sweep (fixed t), checks the measured
 growth against the formula's shape, and verifies output correctness under
 a full-budget jammer on every run.
+
+Run ``PYTHONPATH=src python benchmarks/bench_feedback.py`` to measure the
+schedule-compiled pipeline against the per-round reference implementation
+(rounds/sec of wall time, identical seeded outputs asserted on every run)
+and regenerate ``benchmarks/BENCH_feedback.json``; ``--quick`` is the CI
+smoke mode (small n, non-zero exit if the n-max speedup drops below
+``--min-speedup``).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import platform
 import random
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.adversary import RandomJammer
 from repro.analysis.complexity import normalized_cost
+from repro.feedback.parallel import run_parallel_feedback
 from repro.feedback.protocol import run_feedback
 from repro.feedback.witness import WitnessAssignment
 from repro.params import log2n
@@ -96,3 +110,178 @@ def _e2_table():
 def test_e2_table(benchmark):
     """Benchmark wrapper so the table regenerates under --benchmark-only."""
     benchmark.pedantic(_e2_table, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline regression harness: compiled schedule vs per-round reference.
+# ---------------------------------------------------------------------------
+
+
+def _serial_workload(n: int, t: int, seed: int, compiled: bool):
+    """One full serial feedback invocation; returns (rounds, D-map)."""
+    channels = t + 1
+    net = make_network(
+        n, channels, t, adversary=RandomJammer(random.Random(seed))
+    )
+    sets = tuple(
+        tuple(range(slot * channels, (slot + 1) * channels))
+        for slot in range(channels)
+    )
+    wa = WitnessAssignment(sets=sets, channels=tuple(range(channels)))
+    flags = {w: (slot % 2 == 0) for slot, ws in enumerate(sets) for w in ws}
+    out = run_feedback(
+        net,
+        wa,
+        flags,
+        list(range(n)),
+        RngRegistry(seed=seed),
+        compiled=compiled,
+    )
+    return net.metrics.rounds, out
+
+
+def _parallel_workload(n: int, t: int, seed: int, compiled: bool):
+    """One full parallel-merge invocation; returns (rounds, D-map)."""
+    block = 2 * t
+    slots = 4
+    channels = max(2 * t * t, (slots // 2) * block)
+    net = make_network(
+        n, channels, t, adversary=RandomJammer(random.Random(seed))
+    )
+    witness_sets = [
+        tuple(range(s * block, (s + 1) * block)) for s in range(slots)
+    ]
+    flags = {w: (s != 1) for s, ws in enumerate(witness_sets) for w in ws}
+    out = run_parallel_feedback(
+        net,
+        witness_sets,
+        flags,
+        list(range(n)),
+        RngRegistry(seed=seed),
+        compiled=compiled,
+    )
+    return net.metrics.rounds, out
+
+
+def _rounds_per_sec(workload, n, t, *, compiled, min_seconds):
+    """Wall-clock rounds/sec of repeated full invocations."""
+    start = time.perf_counter()
+    rounds = 0
+    invocations = 0
+    while True:
+        done, _ = workload(n, t, seed=invocations, compiled=compiled)
+        rounds += done
+        invocations += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return rounds / elapsed, rounds // invocations
+
+
+def run_pipeline_suite(sizes: list[int], t: int, min_seconds: float) -> dict:
+    results: dict = {
+        "serial_feedback_rounds_per_sec": {},
+        "parallel_feedback_rounds_per_sec": {},
+    }
+    for n in sizes:
+        # Seeded equivalence is asserted before timing anything: the
+        # speedup only counts if the outputs are identical.
+        for workload in (_serial_workload, _parallel_workload):
+            r_legacy, out_legacy = workload(n, t, seed=0, compiled=False)
+            r_fast, out_fast = workload(n, t, seed=0, compiled=True)
+            assert r_legacy == r_fast and out_legacy == out_fast, (
+                f"compiled/per-round divergence at n={n} ({workload.__name__})"
+            )
+        legacy, per_inv = _rounds_per_sec(
+            _serial_workload, n, t, compiled=False, min_seconds=min_seconds
+        )
+        fast, _ = _rounds_per_sec(
+            _serial_workload, n, t, compiled=True, min_seconds=min_seconds
+        )
+        results["serial_feedback_rounds_per_sec"][str(n)] = {
+            "per_round": round(legacy, 1),
+            "compiled_schedule": round(fast, 1),
+            "rounds_per_invocation": per_inv,
+            "speedup": round(fast / legacy, 2),
+        }
+        legacy, per_inv = _rounds_per_sec(
+            _parallel_workload, n, t, compiled=False, min_seconds=min_seconds
+        )
+        fast, _ = _rounds_per_sec(
+            _parallel_workload, n, t, compiled=True, min_seconds=min_seconds
+        )
+        results["parallel_feedback_rounds_per_sec"][str(n)] = {
+            "per_round": round(legacy, 1),
+            "compiled_schedule": round(fast, 1),
+            "rounds_per_invocation": per_inv,
+            "speedup": round(fast / legacy, 2),
+        }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="feedback pipeline regression benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: small n, short timings, no JSON written",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail (exit 1) if the largest-n serial speedup drops below this",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_feedback.json",
+        help="output path for the committed baseline",
+    )
+    args = parser.parse_args(argv)
+
+    t = 3
+    sizes = [256] if args.quick else [256, 1024]
+    min_seconds = 0.3 if args.quick else 1.5
+    results = run_pipeline_suite(sizes, t, min_seconds)
+
+    for section, rows in results.items():
+        print(f"\n=== {section} ===")
+        for n, row in rows.items():
+            cells = "  ".join(f"{k}={v}" for k, v in row.items())
+            print(f"  n={n:>5}  {cells}")
+
+    n_max = str(max(sizes))
+    speedup = results["serial_feedback_rounds_per_sec"][n_max]["speedup"]
+    if not args.quick:
+        payload = {
+            "generated_by": "benchmarks/bench_feedback.py",
+            "workload": {
+                "t": t,
+                "serial": "C=t+1 feedback channels, C slots, full-budget "
+                "RandomJammer, keep_trace off (see _serial_workload)",
+                "parallel": "4 witness sets of 2t, C=2t^2 channels, "
+                "RandomJammer (see _parallel_workload)",
+                "equivalence": "seeded compiled vs per-round outputs "
+                "asserted identical before timing",
+            },
+            "python": platform.python_version(),
+            "results": results,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: serial feedback speedup at n={n_max} is {speedup}x "
+            f"(< {args.min_speedup}x floor)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: serial feedback speedup at n={n_max} is {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

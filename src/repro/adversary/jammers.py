@@ -29,6 +29,8 @@ class RandomJammer(Adversary):
         ``intensity=0.5`` with ``t=4`` jams 2 channels per round.
     """
 
+    reusable_view = True
+
     def __init__(self, rng: random.Random, intensity: float = 1.0) -> None:
         if not 0.0 < intensity <= 1.0:
             raise ValueError("intensity must be in (0, 1]")
@@ -51,6 +53,8 @@ class SweepJammer(Adversary):
     predictable but full-budget disruptor: useful for deterministic
     regression tests of disruption handling.
     """
+
+    reusable_view = True
 
     def __init__(self, stride: int = 1) -> None:
         if stride < 1:
@@ -75,6 +79,7 @@ class ReactiveJammer(Adversary):
     """
 
     needs_history = True
+    reusable_view = True  # reads the (live) history inside act() only
 
     def __init__(self, rng: random.Random, window: int = 4) -> None:
         if window < 1:

@@ -19,5 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class NullAdversary(Adversary):
     """Does nothing each round."""
 
+    reusable_view = True
+
     def act(self, view: "AdversaryView") -> Sequence[Transmission]:
         return ()

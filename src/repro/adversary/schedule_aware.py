@@ -51,6 +51,8 @@ class ScheduleAwareJammer(Adversary):
         phase starts with ``"feedback"``, maximising listener delay.
     """
 
+    reusable_view = True
+
     def __init__(
         self,
         rng: random.Random,

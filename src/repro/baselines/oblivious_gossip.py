@@ -21,9 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ProtocolViolation
-from ..radio.actions import Action, Listen, Transmit
+from ..radio.actions import Transmit
 from ..radio.messages import Message
-from ..radio.network import RadioNetwork, RoundMeta
+from ..radio.network import (
+    CompiledRound,
+    RadioNetwork,
+    RoundMeta,
+    RoundSchedule,
+)
 from ..rng import RngRegistry
 
 GOSSIP_RUMOR_KIND = "oblivious-rumor"
@@ -72,13 +77,21 @@ def run_oblivious_gossip(
 
     rounds = 0
     start = network.metrics.rounds
+    streams = [rng.stream("oblivious", node) for node in range(n)]
+    meta = RoundMeta(phase="oblivious-gossip")
+    # The protocol is oblivious by definition, but the *stopping rule* is
+    # not (completion is re-checked every round), so rounds are compiled
+    # and submitted one at a time; the win here is the channel-grouped
+    # listener fan-out, which only touches listeners that decoded a frame.
     while not done() and rounds < max_rounds:
-        actions: dict[int, Action] = {}
+        transmits: dict[int, Transmit] = {}
+        by_channel: dict[int, list[int]] = {}
+        listen_count = 0
         for node in range(n):
-            stream = rng.stream("oblivious", node)
+            stream = streams[node]
             channel = stream.randrange(network.channels)
             if stream.random() < 1.0 / n:
-                actions[node] = Transmit(
+                transmits[node] = Transmit(
                     channel,
                     Message(
                         kind=GOSSIP_RUMOR_KIND,
@@ -87,26 +100,37 @@ def run_oblivious_gossip(
                     ),
                 )
             else:
-                actions[node] = Listen(channel)
-        results = network.execute_round(
-            actions, RoundMeta(phase="oblivious-gossip")
+                by_channel.setdefault(channel, []).append(node)
+                listen_count += 1
+        [heard] = network.execute_schedule(
+            RoundSchedule(
+                [
+                    CompiledRound(
+                        transmits=transmits,
+                        listens=by_channel,
+                        meta=meta,
+                        listen_count=listen_count,
+                    )
+                ]
+            )
         )
         rounds += 1
-        for node, frame in results.items():
-            if frame is None or frame.kind != GOSSIP_RUMOR_KIND:
+        for channel, frame in heard.items():
+            if frame.kind != GOSSIP_RUMOR_KIND:
                 continue
             try:
                 _tag, rumor = frame.payload
             except (TypeError, ValueError):
                 continue
-            # No authentication: the rumor is accepted as-is.
-            if not isinstance(rumor, int) or not 0 <= rumor < n:
-                spoofs_accepted += 1
-            elif frame.sender != rumor:
-                spoofs_accepted += 1
-                knowledge[node].add(rumor)
-            else:
-                knowledge[node].add(rumor)
+            for node in by_channel[channel]:
+                # No authentication: the rumor is accepted as-is.
+                if not isinstance(rumor, int) or not 0 <= rumor < n:
+                    spoofs_accepted += 1
+                elif frame.sender != rumor:
+                    spoofs_accepted += 1
+                    knowledge[node].add(rumor)
+                else:
+                    knowledge[node].add(rumor)
     return GossipResult(
         rounds=network.metrics.rounds - start,
         completed=done(),

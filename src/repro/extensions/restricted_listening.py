@@ -75,6 +75,13 @@ class RestrictedListeningNetwork(RadioNetwork):
     transmissions on the channels it monitored.  The Section 3 assumption
     that "the adversary learns all random choices of completed rounds" is
     deliberately dropped — that is the whole point of the Q2 model.
+
+    Compiled :class:`~repro.radio.network.RoundSchedule` submissions are
+    supported: because this class overrides :meth:`execute_round`, the base
+    :meth:`~repro.radio.network.RadioNetwork.execute_schedule` detects the
+    customisation and expands each compiled round through the override, so
+    the monitor-before-act semantics and per-round redaction apply to
+    schedule-driven protocols unchanged.
     """
 
     def __init__(

@@ -55,7 +55,12 @@ from ..game.greedy import GreedyPools, GreedyTermination
 from ..game.rules import check_proposal
 from ..radio.actions import SLEEP, Action, Listen, Transmit
 from ..radio.messages import Message
-from ..radio.network import RadioNetwork, RoundMeta
+from ..radio.network import (
+    CompiledRound,
+    RadioNetwork,
+    RoundMeta,
+    RoundSchedule,
+)
 from ..rng import RngRegistry
 from .config import FameConfig, make_config
 from .result import FameResult, PairOutcome
@@ -113,8 +118,10 @@ class FameProtocol:
         Channel-regime configuration; derived from the network when omitted.
     dense_actions:
         When ``True``, every radio round pads idle nodes with explicit
-        ``Sleep`` actions (the pre-sparse engine behaviour).  Kept for the
-        engine-equivalence tests; production callers leave it ``False``.
+        ``Sleep`` actions and the feedback routines run their per-round
+        reference loops (the pre-pipeline engine behaviour, end to end).
+        Kept for the engine-equivalence tests; production callers leave it
+        ``False`` and get the compiled-schedule pipeline.
     """
 
     def __init__(
@@ -186,29 +193,43 @@ class FameProtocol:
         self, schedule: TransmissionSchedule, move_index: int
     ) -> dict[int, Message | None]:
         """Execute the message-transmission phase of one move."""
-        actions: dict[int, Action] = {}
+        transmits: dict[int, Transmit] = {}
         for a in schedule.assignments:
             vector = self._knowledge[a.broadcaster].get(a.source)
             if vector is None:  # pragma: no cover - schedule picks holders
                 raise SimulationDiverged(
                     f"broadcaster {a.broadcaster} lacks vector of {a.source}"
                 )
-            actions[a.broadcaster] = Transmit(
+            transmits[a.broadcaster] = Transmit(
                 a.channel, vector_frame(a.broadcaster, a.source, vector)
             )
-        for listener, channel in schedule.listeners().items():
-            actions[listener] = Listen(channel)
+        listener_channels = schedule.listeners()
+        meta = RoundMeta(
+            phase="ame-transmission",
+            schedule=schedule.meta_schedule(),
+            extra={"move": move_index},
+        )
         if self.dense_actions:
+            # Legacy engine replay: per-node actions padded with sleeps.
+            actions: dict[int, Action] = dict(transmits)
+            for listener, channel in listener_channels.items():
+                actions[listener] = Listen(channel)
             for node in range(self.network.n):
                 actions.setdefault(node, SLEEP)
-        results = self.network.execute_round(
-            actions,
-            RoundMeta(
-                phase="ame-transmission",
-                schedule=schedule.meta_schedule(),
-                extra={"move": move_index},
-            ),
-        )
+            results = self.network.execute_round(actions, meta)
+        else:
+            by_channel: dict[int, list[int]] = {}
+            for listener, channel in listener_channels.items():
+                by_channel.setdefault(channel, []).append(listener)
+            [heard] = self.network.execute_schedule(
+                RoundSchedule(
+                    [CompiledRound.make(transmits, by_channel, meta)]
+                )
+            )
+            results = {
+                listener: heard.get(channel)
+                for listener, channel in listener_channels.items()
+            }
         # Every frame decoded on an in-use channel is authentic: each such
         # channel carries an honest broadcaster, so adversarial transmissions
         # can only collide (the paper's first insight).  Record the vectors.
@@ -230,6 +251,8 @@ class FameProtocol:
                 frame = results.get(w)
                 flags[w] = frame is not None and frame.kind == AME_DATA_KIND
         participants = list(range(self.network.n))
+        # dense_actions replays the legacy engine end to end, so it also
+        # pins the feedback routines to their per-round reference path.
         if self.config.parallel_feedback:
             return run_parallel_feedback(
                 self.network,
@@ -238,6 +261,7 @@ class FameProtocol:
                 participants,
                 self.rng,
                 phase="feedback-parallel",
+                compiled=not self.dense_actions,
             )
         return run_feedback(
             self.network,
@@ -246,6 +270,7 @@ class FameProtocol:
             participants,
             self.rng,
             phase="feedback",
+            compiled=not self.dense_actions,
         )
 
     def _agree_on_referee(

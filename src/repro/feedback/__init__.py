@@ -12,6 +12,33 @@ collide), while all other nodes hop randomly and collect reports.
 :func:`run_parallel_feedback` implements the Section 5.5 parallel-prefix
 merge used when ``C >= 2t^2``, reducing a full invocation to
 ``O(log^2 n)`` rounds.
+
+Schedule compilation
+--------------------
+Both routines execute, by default, as **compiled schedules** rather than
+per-round loops.  The key observation is that Figure 1's repetition loop is
+*oblivious* in the paper's own sense: nothing a node transmits or tunes to
+during the phase depends on anything observed during the phase.  The
+witness of rank ``i`` occupies feedback channel ``i`` in every repetition
+(a static transmitter template), and each listener's channel hops are
+private coin flips fixed by its RNG stream — so the entire
+``slots × repetitions`` loop (and each level of the parallel merge tree)
+can be precomputed into a :class:`~repro.radio.network.RoundSchedule` and
+submitted to :meth:`~repro.radio.network.RadioNetwork.execute_schedule`
+in one call.  The engine then settles listeners *lazily*, per channel
+group: a silent or collided channel costs no per-listener work at all.
+
+Lemma 5 fidelity: compilation changes no observable of the execution.
+The adversary is still consulted every round with the same view (public
+metadata plus the trace of completed rounds — the one-round observation
+delay is preserved because compiled rounds resolve strictly in sequence),
+honest randomness is drawn from the same streams in the same per-stream
+order, and per-round resolution follows the identical single-transmitter
+decode rule.  Every probabilistic event in Lemma 5's Chernoff argument —
+"listener hears the active slot's witness in one repetition with
+probability ``>= (C-t)/C``" — therefore has exactly the same distribution,
+and seeded runs of the compiled and per-round paths are byte-identical
+(enforced by ``tests/test_feedback_pipeline.py``).
 """
 
 from .witness import WitnessAssignment, rank

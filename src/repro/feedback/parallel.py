@@ -29,8 +29,8 @@ from typing import Mapping, Sequence
 from ..errors import ConfigurationError
 from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
-from ..radio.network import RadioNetwork, RoundMeta
-from ..rng import RngRegistry
+from ..radio.network import CompiledRound, RadioNetwork, RoundMeta, RoundSchedule
+from ..rng import RngRegistry, draw_uniform_indices
 
 MERGE_KIND = "feedback-merge"
 
@@ -61,6 +61,7 @@ def _run_transfer_rounds(
     rng: RngRegistry,
     phase: str,
     rng_namespace: object,
+    compiled: bool = True,
 ) -> None:
     """Run ``repetitions`` rounds of simultaneous directed transfers.
 
@@ -69,24 +70,114 @@ def _run_transfer_rounds(
     occupied by an honest broadcaster each round, so adversarial frames can
     only collide, never be decoded.  Listeners hop uniformly within their
     block and merge any knowledge frame with a matching tag.
+
+    The repetition loop is oblivious, so the default path compiles it into
+    one :class:`RoundSchedule`: the broadcaster assignment is a static
+    template (each knowledge frame built once, not once per repetition —
+    the frames of one transfer are identical across rounds), each
+    listener's block-hop sequence is drawn up front from its stream, and
+    results fold back per decoded channel.  ``compiled=False`` replays the
+    historical per-round loop; the two are byte-identical on seeded runs.
     """
     used_channels: set[int] = set()
-    for _, _, block, _ in transfers:
+    for broadcasters, _, block, _ in transfers:
         overlap = used_channels & set(block)
         if overlap:
             raise ConfigurationError(
                 f"transfer blocks overlap on channels {sorted(overlap)}"
             )
         used_channels.update(block)
+        if len(broadcasters) < len(block):
+            raise ConfigurationError(
+                f"group of {len(broadcasters)} cannot occupy a "
+                f"{len(block)}-channel block"
+            )
 
+    if not compiled:
+        _transfer_rounds_per_round(
+            network,
+            transfers,
+            per_node_knowledge,
+            tag,
+            repetitions,
+            rng,
+            phase,
+            rng_namespace,
+        )
+        return
+
+    meta = RoundMeta(phase=phase, extra={"tag": tag})
+    template: dict[int, Transmit] = {}
+    hop_choices: list[tuple[int, list[int]]] = []  # (listener, per-rep hops)
+    for broadcasters, listeners, block, knowledge in transfers:
+        for idx, channel in enumerate(block):
+            template[broadcasters[idx]] = Transmit(
+                channel, _merge_frame(broadcasters[idx], tag, knowledge)
+            )
+        # Draw each listener's whole hop sequence up front (choice-stream
+        # compatible; see draw_uniform_indices).
+        block_list = list(block)
+        nblock = len(block_list)
+        for node in listeners:
+            stream = rng.stream(rng_namespace, "merge-listen", node)
+            hop_choices.append(
+                (
+                    node,
+                    [
+                        block_list[i]
+                        for i in draw_uniform_indices(
+                            stream, nblock, repetitions
+                        )
+                    ],
+                )
+            )
+
+    listen_total = len(hop_choices)
+    compiled_rounds: list[CompiledRound] = []
+    fanouts: list[dict[int, list[int]]] = []
+    for rep in range(repetitions):
+        by_channel: dict[int, list[int]] = {c: [] for c in used_channels}
+        for node, choices in hop_choices:
+            by_channel[choices[rep]].append(node)
+        compiled_rounds.append(
+            CompiledRound(
+                transmits=template,
+                listens=by_channel,
+                meta=meta,
+                listen_count=listen_total,
+            )
+        )
+        fanouts.append(by_channel)
+
+    heard_per_round = network.execute_schedule(RoundSchedule(compiled_rounds))
+
+    for by_channel, heard in zip(fanouts, heard_per_round):
+        for channel, received in heard.items():
+            if received.kind != MERGE_KIND:
+                continue
+            recv_tag, items = received.payload
+            if recv_tag != tag:
+                continue
+            merged = dict(items)
+            for node in by_channel[channel]:
+                per_node_knowledge[node].update(merged)
+
+
+def _transfer_rounds_per_round(
+    network: RadioNetwork,
+    transfers: Sequence[tuple[Sequence[int], Sequence[int], Sequence[int], Mapping[int, bool]]],
+    per_node_knowledge: dict[int, dict[int, bool]],
+    tag: object,
+    repetitions: int,
+    rng: RngRegistry,
+    phase: str,
+    rng_namespace: object,
+) -> None:
+    """The historical reference loop — the equivalence oracle for the
+    compiled path (blocks already validated by the caller)."""
     for _rep in range(repetitions):
         actions: dict[int, Action] = {}
         for broadcasters, listeners, block, knowledge in transfers:
-            if len(broadcasters) < len(block):
-                raise ConfigurationError(
-                    f"group of {len(broadcasters)} cannot occupy a "
-                    f"{len(block)}-channel block"
-                )
             for idx, channel in enumerate(block):
                 actions[broadcasters[idx]] = Transmit(
                     channel, _merge_frame(broadcasters[idx], tag, knowledge)
@@ -114,14 +205,16 @@ def run_parallel_feedback(
     repetitions: int | None = None,
     phase: str = "feedback-parallel",
     rng_namespace: object = "feedback-parallel",
+    compiled: bool = True,
 ) -> dict[int, set[int]]:
     """Merge per-slot flags through a parallel-prefix tree; return each
     participant's ``D`` (slot indices whose flag is true).
 
-    Parameters mirror :func:`repro.feedback.protocol.run_feedback`; here
-    ``witness_sets[r]`` must contain at least ``2t`` members, and the network
-    must offer enough channels for the first level's simultaneous blocks
-    (guaranteed by ``C >= 2t^2`` when ``len(witness_sets) <= C/t``).
+    Parameters mirror :func:`repro.feedback.protocol.run_feedback`
+    (including ``compiled``); here ``witness_sets[r]`` must contain at
+    least ``2t`` members, and the network must offer enough channels for
+    the first level's simultaneous blocks (guaranteed by ``C >= 2t^2``
+    when ``len(witness_sets) <= C/t``).
     """
     t = network.t
     block_size = max(1, 2 * t)
@@ -190,6 +283,7 @@ def run_parallel_feedback(
                 rng=rng,
                 phase=phase,
                 rng_namespace=(rng_namespace, level, direction),
+                compiled=compiled,
             )
         next_groups: list[_Group] = []
         for left, right in pairs:
@@ -218,6 +312,7 @@ def run_parallel_feedback(
             rng=rng,
             phase=phase,
             rng_namespace=(rng_namespace, "final"),
+            compiled=compiled,
         )
 
     return {

@@ -14,6 +14,21 @@ the routine runs ``Θ(C/(C-t) · log n)`` repetitions.  In each repetition:
 A node adds ``r`` to its output set ``D`` iff it is a witness with a true
 flag, or it heard ``<true, r>``.  Lemma 5: with high probability all
 participants return identical ``D`` equal to the true flag set.
+
+Execution strategy
+------------------
+The repetition loop is *oblivious*: who transmits where is fixed by the
+witness ranks, and each listener's hop sequence is private randomness that
+depends on nothing observed during the phase.  The default path therefore
+**compiles** the whole ``slots × repetitions`` loop into one
+:class:`~repro.radio.network.RoundSchedule` — per-slot static transmitter
+templates plus per-round listener groups drawn from each listener's RNG
+stream up front — and submits it through
+:meth:`~repro.radio.network.RadioNetwork.execute_schedule`, folding the
+per-channel results back into the output sets.  ``compiled=False`` replays
+the historical one-``execute_round``-per-repetition loop; seeded runs of
+the two paths are byte-identical (same RNG stream consumption, same
+metrics, same traces), which `tests/test_feedback_pipeline.py` enforces.
 """
 
 from __future__ import annotations
@@ -23,8 +38,8 @@ from typing import Mapping, Sequence
 from ..errors import ConfigurationError
 from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
-from ..radio.network import RadioNetwork, RoundMeta
-from ..rng import RngRegistry
+from ..radio.network import CompiledRound, RadioNetwork, RoundMeta, RoundSchedule
+from ..rng import RngRegistry, draw_uniform_indices
 from .witness import WitnessAssignment
 
 FEEDBACK_KIND = "feedback"
@@ -51,6 +66,7 @@ def run_feedback(
     repetitions: int | None = None,
     phase: str = "feedback",
     rng_namespace: object = "feedback",
+    compiled: bool = True,
 ) -> dict[int, set[int]]:
     """Execute one communication-feedback invocation.
 
@@ -77,6 +93,11 @@ def run_feedback(
         Phase label stamped on round metadata (adversaries can see it).
     rng_namespace:
         Disambiguates listener streams across multiple invocations.
+    compiled:
+        When ``True`` (default), compile the whole oblivious loop into one
+        :class:`~repro.radio.network.RoundSchedule` and execute it in bulk;
+        when ``False``, replay the historical per-round loop.  Both paths
+        are byte-identical on seeded runs.
 
     Returns
     -------
@@ -103,7 +124,50 @@ def run_feedback(
         )
 
     outputs: dict[int, set[int]] = {node: set() for node in participants}
+    if compiled:
+        _run_feedback_compiled(
+            network,
+            assignment,
+            flags,
+            participants,
+            rng,
+            repetitions,
+            phase,
+            rng_namespace,
+            outputs,
+        )
+    else:
+        _run_feedback_per_round(
+            network,
+            assignment,
+            flags,
+            participants,
+            rng,
+            repetitions,
+            phase,
+            rng_namespace,
+            outputs,
+        )
+    return outputs
 
+
+def _run_feedback_per_round(
+    network: RadioNetwork,
+    assignment: WitnessAssignment,
+    flags: Mapping[int, bool],
+    participants: Sequence[int],
+    rng: RngRegistry,
+    repetitions: int,
+    phase: str,
+    rng_namespace: object,
+    outputs: dict[int, set[int]],
+) -> None:
+    """The historical reference loop: one ``execute_round`` per repetition.
+
+    Kept verbatim as the equivalence oracle for the compiled pipeline (and
+    for callers that interleave feedback with non-oblivious behaviour).
+    """
+    channels = assignment.channels
     for slot in range(assignment.slots):
         witnesses = assignment.witnesses_of(slot)
         witness_set = set(witnesses)
@@ -135,4 +199,88 @@ def run_feedback(
                     and received.payload == ("true", slot)
                 ):
                     outputs[node].add(slot)
-    return outputs
+
+
+def _run_feedback_compiled(
+    network: RadioNetwork,
+    assignment: WitnessAssignment,
+    flags: Mapping[int, bool],
+    participants: Sequence[int],
+    rng: RngRegistry,
+    repetitions: int,
+    phase: str,
+    rng_namespace: object,
+    outputs: dict[int, set[int]],
+) -> None:
+    """Compile ``slots × repetitions`` into one schedule and run it in bulk.
+
+    Per slot the witness broadcasts form a *static transmitter template*
+    (rank map precomputed once — no ``witnesses.index`` in any inner loop)
+    shared by every repetition's :class:`CompiledRound`; each listener's
+    full hop sequence is drawn from its private stream up front, consuming
+    the streams in exactly the order the per-round path would (slot-major,
+    then repetition), so seeded executions coincide bit for bit.
+    """
+    channels = assignment.channels
+    listener_streams = {
+        node: rng.stream(rng_namespace, "listen", node) for node in participants
+    }
+
+    compiled_rounds: list[CompiledRound] = []
+    # fanouts[i] = (slot, listener groups) for compiled_rounds[i]; the
+    # groups let the result fold touch only channels that decoded a frame.
+    fanouts: list[tuple[int, Mapping[int, list[int]]]] = []
+    for slot in range(assignment.slots):
+        witnesses = assignment.witnesses_of(slot)
+        witness_set = set(witnesses)
+        slot_flag = flags[witnesses[0]]
+        if slot_flag:
+            for w in witnesses:
+                outputs[w].add(slot)  # Figure 1 line 14
+        frame_of = feedback_true if slot_flag else feedback_false
+        template = {
+            w: Transmit(channels[rank], frame_of(w, slot))
+            for rank, w in enumerate(witnesses)
+        }
+        meta = RoundMeta(phase=phase, extra={"slot": slot})
+        # Draw each listener's whole hop sequence for this slot up front
+        # (per-stream consumption order matches the per-round path:
+        # slot-major, then repetition — see draw_uniform_indices for the
+        # choice-compatibility invariant), then group listeners per
+        # repetition.  Groups are pre-seeded with every feedback channel.
+        nchan = len(channels)
+        node_hops = [
+            (
+                node,
+                draw_uniform_indices(
+                    listener_streams[node], nchan, repetitions
+                ),
+            )
+            for node in participants
+            if node not in witness_set
+        ]
+        listen_count = len(node_hops)
+        for rep in range(repetitions):
+            by_channel: dict[int, list[int]] = {c: [] for c in channels}
+            for node, hops in node_hops:
+                by_channel[channels[hops[rep]]].append(node)
+            compiled_rounds.append(
+                CompiledRound(
+                    transmits=template,
+                    listens=by_channel,
+                    meta=meta,
+                    listen_count=listen_count,
+                )
+            )
+            fanouts.append((slot, by_channel))
+
+    heard_per_round = network.execute_schedule(RoundSchedule(compiled_rounds))
+
+    for (slot, by_channel), heard in zip(fanouts, heard_per_round):
+        for channel, received in heard.items():
+            if received.kind == FEEDBACK_KIND and received.payload == (
+                "true",
+                slot,
+            ):
+                for node in by_channel[channel]:
+                    outputs[node].add(slot)

@@ -43,9 +43,14 @@ from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
 from ..fame.config import FameConfig, make_config
 from ..fame.protocol import FameProtocol
-from ..radio.actions import Action, Listen, Transmit
+from ..radio.actions import Transmit
 from ..radio.messages import Message
-from ..radio.network import RadioNetwork, RoundMeta
+from ..radio.network import (
+    CompiledRound,
+    RadioNetwork,
+    RoundMeta,
+    RoundSchedule,
+)
 from ..rng import RngRegistry
 from .result import GroupKeyResult
 from .spanner import choose_leaders, leader_spanner
@@ -199,50 +204,67 @@ class GroupKeyProtocol:
                 if w == v:
                     continue
                 pair_key = pair_keys.get(frozenset((v, w)))
-                hopper = cipher = None
-                if pair_key is not None:
-                    hopper = ChannelHopper(
-                        pair_key, channels, label=("part2", v, w)
+                meta = RoundMeta(
+                    phase="groupkey-part2",
+                    extra={"leader": v, "partner": w},
+                )
+                if pair_key is None:
+                    # The epoch still burns its rounds in lockstep (the
+                    # adversary acts; nothing is sent on this pair's behalf).
+                    idle = CompiledRound(
+                        transmits={}, listens={}, meta=meta, listen_count=0
                     )
-                    cipher = AuthenticatedCipher(pair_key)
+                    self.network.execute_schedule(
+                        RoundSchedule([idle] * epoch_rounds)
+                    )
+                    epoch_index += 1
+                    continue
+                hopper = ChannelHopper(
+                    pair_key, channels, label=("part2", v, w)
+                )
+                cipher = AuthenticatedCipher(pair_key)
+                # The whole epoch is deterministic given the pair key:
+                # compile it and submit it in one batch.
+                epoch: list[CompiledRound] = []
+                hops: list[int] = []
                 for r in range(epoch_rounds):
-                    actions: dict[int, Action] = {}
-                    if pair_key is not None:
-                        channel = hopper.channel(r)
-                        if v in leader_keys:
-                            sealed = cipher.encrypt(
-                                leader_keys[v],
-                                nonce=nonce_from_counter(epoch_index, r),
-                                associated=b"leader-key",
-                            )
-                            payload: Any = ("key", sealed.as_tuple())
-                        else:
-                            sealed = cipher.encrypt(
-                                b"",
-                                nonce=nonce_from_counter(epoch_index, r),
-                                associated=b"incomplete",
-                            )
-                            payload = ("incomplete", sealed.as_tuple())
-                        actions[v] = Transmit(
-                            channel,
-                            Message(
-                                kind=LEADER_KEY_KIND, sender=v, payload=payload
-                            ),
+                    channel = hopper.channel(r)
+                    if v in leader_keys:
+                        sealed = cipher.encrypt(
+                            leader_keys[v],
+                            nonce=nonce_from_counter(epoch_index, r),
+                            associated=b"leader-key",
                         )
-                        actions[w] = Listen(channel)
-                    frames = self.network.execute_round(
-                        actions,
-                        RoundMeta(
-                            phase="groupkey-part2",
-                            extra={"leader": v, "partner": w},
-                        ),
+                        payload: Any = ("key", sealed.as_tuple())
+                    else:
+                        sealed = cipher.encrypt(
+                            b"",
+                            nonce=nonce_from_counter(epoch_index, r),
+                            associated=b"incomplete",
+                        )
+                        payload = ("incomplete", sealed.as_tuple())
+                    epoch.append(
+                        CompiledRound(
+                            transmits={
+                                v: Transmit(
+                                    channel,
+                                    Message(
+                                        kind=LEADER_KEY_KIND,
+                                        sender=v,
+                                        payload=payload,
+                                    ),
+                                )
+                            },
+                            listens={channel: (w,)},
+                            meta=meta,
+                            listen_count=1,
+                        )
                     )
-                    frame = frames.get(w)
-                    if (
-                        pair_key is None
-                        or frame is None
-                        or frame.kind != LEADER_KEY_KIND
-                    ):
+                    hops.append(channel)
+                heard = self.network.execute_schedule(RoundSchedule(epoch))
+                for channel, per_round in zip(hops, heard):
+                    frame = per_round.get(channel)
+                    if frame is None or frame.kind != LEADER_KEY_KIND:
                         continue
                     try:
                         tag, sealed_tuple = frame.payload
@@ -287,6 +309,7 @@ class GroupKeyProtocol:
         reports: dict[int, dict[tuple[int, bytes], set[int]]] = {
             v: defaultdict(set) for v in range(self.n)
         }
+        streams = [self.rng.stream("part3", node) for node in range(self.n)]
         for reporter in reporters:
             known = received.get(reporter, {})
             report_payload = None
@@ -304,25 +327,44 @@ class GroupKeyProtocol:
                 if report_payload is not None
                 else None
             )
+            # The epoch's transmit/listen pattern is pure private coin
+            # flips: draw every node's hop sequence up front (same
+            # per-stream order as the per-round loop) and compile the
+            # whole epoch; listeners resolve lazily per channel group.
+            meta = RoundMeta(
+                phase="groupkey-part3", extra={"reporter": reporter}
+            )
+            epoch: list[CompiledRound] = []
+            fanouts: list[dict[int, list[int]]] = []
             for _ in range(epoch_rounds):
-                actions: dict[int, Action] = {}
+                transmits: dict[int, Transmit] = {}
+                by_channel: dict[int, list[int]] = {}
+                listen_count = 0
                 for node in range(self.n):
-                    stream = self.rng.stream("part3", node)
+                    stream = streams[node]
                     if node == reporter:
                         if frame is not None:
-                            actions[node] = Transmit(
+                            transmits[node] = Transmit(
                                 stream.randrange(channels), frame
                             )
                     else:
-                        actions[node] = Listen(stream.randrange(channels))
-                frames = self.network.execute_round(
-                    actions,
-                    RoundMeta(
-                        phase="groupkey-part3", extra={"reporter": reporter}
-                    ),
+                        by_channel.setdefault(
+                            stream.randrange(channels), []
+                        ).append(node)
+                        listen_count += 1
+                epoch.append(
+                    CompiledRound(
+                        transmits=transmits,
+                        listens=by_channel,
+                        meta=meta,
+                        listen_count=listen_count,
+                    )
                 )
-                for node, got in frames.items():
-                    if got is None or got.kind != REPORT_KIND:
+                fanouts.append(by_channel)
+            heard = self.network.execute_schedule(RoundSchedule(epoch))
+            for by_channel, per_round in zip(fanouts, heard):
+                for channel, got in per_round.items():
+                    if got.kind != REPORT_KIND:
                         continue
                     try:
                         claimed_reporter, leader, key_hash = got.payload
@@ -331,7 +373,10 @@ class GroupKeyProtocol:
                     if claimed_reporter in reporters and isinstance(
                         key_hash, bytes
                     ):
-                        reports[node][(leader, key_hash)].add(claimed_reporter)
+                        for node in by_channel[channel]:
+                            reports[node][(leader, key_hash)].add(
+                                claimed_reporter
+                            )
 
         # The agreement rule: adopt the smallest leader whose key the node
         # can verify and that gathered t+1 distinct (claimed) reporters.

@@ -17,14 +17,21 @@ verbatim:
 
 from .actions import SLEEP, Action, Listen, Sleep, Transmit
 from .messages import JAM, Jam, Message
-from .network import AdversaryView, RadioNetwork, RoundMeta
-from .trace import ExecutionTrace, RoundRecord
+from .network import (
+    AdversaryView,
+    CompiledRound,
+    RadioNetwork,
+    RoundMeta,
+    RoundSchedule,
+)
+from .trace import ExecutionTrace, RoundRecord, SparseDelivered
 from .metrics import NetworkMetrics
 from .export import channel_occupancy, dump_trace, trace_to_records
 
 __all__ = [
     "Action",
     "AdversaryView",
+    "CompiledRound",
     "ExecutionTrace",
     "JAM",
     "Jam",
@@ -34,8 +41,10 @@ __all__ = [
     "RadioNetwork",
     "RoundMeta",
     "RoundRecord",
+    "RoundSchedule",
     "SLEEP",
     "Sleep",
+    "SparseDelivered",
     "Transmit",
     "channel_occupancy",
     "dump_trace",

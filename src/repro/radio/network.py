@@ -21,14 +21,14 @@ schedule depends only on public history).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import ConfigurationError, ProtocolViolation
 from ..params import ProtocolParameters, DEFAULT_PARAMETERS, validate_model
 from .actions import Action, Listen, Sleep, Transmit
 from .messages import Jam, Message, Transmission
 from .metrics import NetworkMetrics
-from .trace import ExecutionTrace, RoundRecord
+from .trace import ExecutionTrace, RoundRecord, SparseDelivered
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..adversary.base import Adversary
@@ -85,6 +85,100 @@ class AdversaryView:
     meta: RoundMeta
 
 
+@dataclass(frozen=True)
+class CompiledRound:
+    """One precompiled round of a :class:`RoundSchedule`.
+
+    Attributes
+    ----------
+    transmits:
+        ``node -> Transmit``.  Rounds that share a *static transmitter
+        template* (e.g. the witnesses of one feedback slot, identical over
+        every repetition) may reference the **same** mapping object — the
+        engine validates each distinct mapping once, not once per round.
+    listens:
+        ``channel -> ordered listener node ids``.  Grouping listeners by
+        channel is what makes lazy resolution possible: a channel's
+        delivery is computed once, silent channels cost nothing, and the
+        engine never touches individual listeners unless a trace record is
+        being built.
+    meta:
+        Round metadata, exactly as for :meth:`RadioNetwork.execute_round`.
+    listen_count:
+        Total listener count, precomputed so per-round metric bookkeeping
+        stays O(1) in the population size.
+    """
+
+    transmits: Mapping[int, Transmit]
+    listens: Mapping[int, Sequence[int]]
+    meta: RoundMeta
+    listen_count: int
+
+    @classmethod
+    def make(
+        cls,
+        transmits: Mapping[int, Transmit],
+        listens: Mapping[int, Sequence[int]],
+        meta: RoundMeta | None = None,
+    ) -> "CompiledRound":
+        """Build a round, deriving ``listen_count`` from the groups."""
+        return cls(
+            transmits=transmits,
+            listens=listens,
+            meta=meta or RoundMeta(),
+            listen_count=sum(len(group) for group in listens.values()),
+        )
+
+    def as_actions(self) -> dict[int, Action]:
+        """Expand into the per-node action map of the classic interface."""
+        actions: dict[int, Action] = dict(self.transmits)
+        for channel, group in self.listens.items():
+            listen = Listen(channel)
+            for node in group:
+                actions[node] = listen
+        return actions
+
+
+class RoundSchedule:
+    """A precompiled, data-independent batch of rounds.
+
+    Protocols whose round structure is *oblivious* — fixed repetition
+    loops, deterministic sweeps, precomputed random hop sequences — compile
+    the whole loop once and submit it through
+    :meth:`RadioNetwork.execute_schedule`.  The engine then resolves each
+    round at a cost proportional to the transmitters and the *touched*
+    channels, not to the population or the channel count: listeners are
+    settled per channel group, and a listener on a silent channel costs no
+    per-node work at all.
+
+    A schedule is a plain value (picklable when its messages are), which is
+    what makes it a unit of work that can later be fanned out to worker
+    processes.
+    """
+
+    __slots__ = ("rounds",)
+
+    def __init__(self, rounds: Iterable[CompiledRound]) -> None:
+        self.rounds = tuple(rounds)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def __iter__(self) -> Iterator[CompiledRound]:
+        return iter(self.rounds)
+
+    def as_action_batches(
+        self,
+    ) -> list[tuple[dict[int, Action], RoundMeta]]:
+        """The classic ``(actions, meta)`` expansion of every round.
+
+        Used by the compatibility fallback for :class:`RadioNetwork`
+        subclasses that customise :meth:`RadioNetwork.execute_round`, and
+        by equivalence tests.
+        """
+        return [(cr.as_actions(), cr.meta) for cr in self.rounds]
+
+
 class RadioNetwork:
     """Round-based simulator for the multi-channel radio model.
 
@@ -131,6 +225,9 @@ class RadioNetwork:
         self.trace = ExecutionTrace()
         self.metrics = NetworkMetrics()
         self._round_index = 0
+        # One shared view instance, reused across rounds for adversaries
+        # that declare ``reusable_view`` (see Adversary.reusable_view).
+        self._shared_view: AdversaryView | None = None
 
     @property
     def round_index(self) -> int:
@@ -173,6 +270,72 @@ class RadioNetwork:
 
     # ------------------------------------------------------------------
 
+    def _adversary_view(self, meta: RoundMeta) -> AdversaryView:
+        """The view handed to the adversary for the round about to resolve.
+
+        Adversaries that declare :attr:`~repro.adversary.base.Adversary.
+        reusable_view` get **one** view object whose ``round_index`` and
+        ``meta`` are advanced in place each round (the population fields
+        are constant and ``history`` is the live trace, which mutates as
+        rounds complete) — removing the last per-round allocation on
+        adversarial hot paths.  Everyone else gets a fresh frozen view.
+        """
+        if getattr(self.adversary, "reusable_view", False):
+            view = self._shared_view
+            if view is None:
+                view = AdversaryView(
+                    n=self.n,
+                    channels=self.channels,
+                    t=self.t,
+                    round_index=self._round_index,
+                    history=self.trace,
+                    meta=meta,
+                )
+                self._shared_view = view
+            else:
+                object.__setattr__(view, "round_index", self._round_index)
+                object.__setattr__(view, "meta", meta)
+            return view
+        return AdversaryView(
+            n=self.n,
+            channels=self.channels,
+            t=self.t,
+            round_index=self._round_index,
+            history=self.trace,
+            meta=meta,
+        )
+
+    def _decode_channels(
+        self,
+        transmitters: Mapping[int, list],
+        adversary_channels: "set[int]",
+    ) -> tuple[dict[int, Message | None], int, int]:
+        """Resolve every touched channel by the single-transmitter rule.
+
+        The one decode-and-account step shared by :meth:`execute_round`
+        and :meth:`execute_schedule` — exactly one decodable transmission
+        on a channel delivers it (counting a spoof when that transmission
+        was the adversary's), anything else is silence or a collision.
+        Returns ``(delivered, deliveries, spoofs)``; collisions are
+        counted directly on the metrics.
+        """
+        delivered: dict[int, Message | None] = {}
+        deliveries = 0
+        spoofs = 0
+        for channel, payloads in transmitters.items():
+            if len(payloads) == 1 and isinstance(payloads[0], Message):
+                delivered[channel] = payloads[0]
+                deliveries += 1
+                if channel in adversary_channels:
+                    # The sole (decoded) transmission came from the
+                    # adversary: a successful spoof at the radio level.
+                    spoofs += 1
+            else:
+                delivered[channel] = None
+                if len(payloads) >= 2:
+                    self.metrics.collisions += 1
+        return delivered, deliveries, spoofs
+
     def execute_round(
         self,
         actions: Mapping[int, Action],
@@ -205,15 +368,7 @@ class RadioNetwork:
 
         adversary_txs: list[Transmission] = []
         if self.adversary is not None:
-            view = AdversaryView(
-                n=self.n,
-                channels=self.channels,
-                t=self.t,
-                round_index=self._round_index,
-                history=self.trace,
-                meta=meta,
-            )
-            adversary_txs = list(self.adversary.act(view))
+            adversary_txs = list(self.adversary.act(self._adversary_view(meta)))
             self._validate_adversary(adversary_txs)
 
         # Per-channel resolution over *touched* channels only.  Untouched
@@ -234,21 +389,9 @@ class RadioNetwork:
             adversary_channels.add(tx.channel)
             transmitters.setdefault(tx.channel, []).append(tx.payload)
 
-        delivered: dict[int, Message | None] = {}
-        deliveries = 0
-        spoofs = 0
-        for channel, payloads in transmitters.items():
-            if len(payloads) == 1 and isinstance(payloads[0], Message):
-                delivered[channel] = payloads[0]
-                deliveries += 1
-                if channel in adversary_channels:
-                    # The sole (decoded) transmission came from the
-                    # adversary: a successful spoof at the radio level.
-                    spoofs += 1
-            else:
-                delivered[channel] = None
-                if len(payloads) >= 2:
-                    self.metrics.collisions += 1
+        delivered, deliveries, spoofs = self._decode_channels(
+            transmitters, adversary_channels
+        )
 
         # Bookkeeping.
         self.metrics.rounds += 1
@@ -271,10 +414,7 @@ class RadioNetwork:
                     index=self._round_index,
                     actions=dict(actions),
                     adversary_transmissions=tuple(adversary_txs),
-                    delivered={
-                        channel: delivered.get(channel)
-                        for channel in range(self.channels)
-                    },
+                    delivered=SparseDelivered(delivered, self.channels),
                     meta=meta.as_dict(),
                 )
             )
@@ -289,7 +429,7 @@ class RadioNetwork:
 
     def execute_rounds(
         self,
-        batch: "Iterable[tuple[Mapping[int, Action], RoundMeta | None]]",
+        batch: "RoundSchedule | Iterable[tuple[Mapping[int, Action], RoundMeta | None]]",
     ) -> list[dict[int, Message | None]]:
         """Resolve a precomputed sequence of rounds back-to-back.
 
@@ -299,6 +439,201 @@ class RadioNetwork:
         ``(actions, meta)`` pair resolved exactly as by
         :meth:`execute_round` — including adversary interaction per round —
         and the per-listener result dicts are returned in order.
+
+        A precompiled :class:`RoundSchedule` is also accepted: it runs
+        through the :meth:`execute_schedule` fast path and the per-channel
+        results are expanded back into the same per-listener dicts this
+        method always returns, so the result contract is shape-stable
+        regardless of the submission style.  Callers wanting the raw
+        channel-level results (no per-listener fan-out cost) use
+        :meth:`execute_schedule` directly.
         """
+        if isinstance(batch, RoundSchedule):
+            out: list[dict[int, Message | None]] = []
+            for cr, heard in zip(batch.rounds, self.execute_schedule(batch)):
+                results: dict[int, Message | None] = {}
+                for channel, group in cr.listens.items():
+                    msg = heard.get(channel)
+                    for node in group:
+                        results[node] = msg
+                out.append(results)
+            return out
         execute = self.execute_round
         return [execute(actions, meta) for actions, meta in batch]
+
+    # ------------------------------------------------------------------
+    # The compiled-schedule fast path.
+    # ------------------------------------------------------------------
+
+    def _validate_compiled(
+        self, cr: CompiledRound, validated_transmits: set[int]
+    ) -> None:
+        """Validate one compiled round.
+
+        Transmitter maps shared across rounds (the static template of a
+        repetition loop) are validated once per :meth:`execute_schedule`
+        call, keyed by object identity — the schedule keeps them alive, so
+        ids are stable for the duration of the call.
+        """
+        if id(cr.transmits) not in validated_transmits:
+            validated_transmits.add(id(cr.transmits))
+            for node, action in cr.transmits.items():
+                if not 0 <= node < self.n:
+                    raise ProtocolViolation(f"unknown node id {node}")
+                if not isinstance(action, Transmit):
+                    raise ProtocolViolation(
+                        f"compiled transmit map holds {action!r} for node "
+                        f"{node}; only Transmit actions belong there"
+                    )
+                if not 0 <= action.channel < self.channels:
+                    raise ProtocolViolation(
+                        f"node {node} used invalid channel {action.channel} "
+                        f"(C={self.channels})"
+                    )
+        listeners_seen: set[int] = set()
+        listener_total = 0
+        for channel, group in cr.listens.items():
+            if not 0 <= channel < self.channels:
+                raise ProtocolViolation(
+                    f"listeners grouped on invalid channel {channel} "
+                    f"(C={self.channels})"
+                )
+            if not group:
+                continue
+            # min/max and the set ops below run at C speed; only dig for
+            # the per-node culprit on failure.
+            if not (0 <= min(group) and max(group) < self.n):
+                bad = next(n for n in group if not 0 <= n < self.n)
+                raise ProtocolViolation(f"unknown node id {bad}")
+            listeners_seen.update(group)
+            listener_total += len(group)
+        # One action per node per round: a node may listen at most once and
+        # may not both transmit and listen (states the per-node action API
+        # cannot even represent must stay unrepresentable here too).
+        if len(listeners_seen) != listener_total:
+            raise ProtocolViolation(
+                "compiled round schedules a node in two listener groups"
+            )
+        if cr.listen_count != listener_total:
+            raise ProtocolViolation(
+                f"compiled round declares listen_count={cr.listen_count} "
+                f"but its groups hold {listener_total} listeners "
+                "(build rounds with CompiledRound.make)"
+            )
+        if cr.transmits and not listeners_seen.isdisjoint(cr.transmits):
+            bad = sorted(listeners_seen & set(cr.transmits))[0]
+            raise ProtocolViolation(
+                f"node {bad} is scheduled to both transmit and listen"
+            )
+
+    def execute_schedule(
+        self, schedule: "RoundSchedule"
+    ) -> list[dict[int, Message]]:
+        """Resolve a precompiled :class:`RoundSchedule`.
+
+        Returns one dict per round mapping **channel** to the message
+        decoded on it, containing entries only for channels that (a) had at
+        least one scheduled listener and (b) delivered a message.  Callers
+        fan results out to their listeners themselves (they compiled the
+        listener groups, so they know them) — this is what lets a round
+        with ``n`` listeners on silent or collided channels resolve without
+        any per-listener work.
+
+        Adversary interaction, metrics, the round cap, and trace retention
+        behave exactly as in :meth:`execute_round`: per-round records (with
+        full per-node action maps) are reconstructed whenever the trace is
+        retained, so traced executions are indistinguishable from the
+        per-round path.
+        """
+        if type(self).execute_round is not RadioNetwork.execute_round:
+            # A subclass customises round resolution (e.g. the
+            # restricted-listening model): preserve its semantics by
+            # expanding each compiled round through the classic interface.
+            # Contract: like the base model, an override must resolve all
+            # listeners on one channel identically (the radio medium has
+            # no per-listener state); the channel-level result is read
+            # from the group's first listener.  An override with
+            # per-listener semantics must override this method too.
+            out: list[dict[int, Message]] = []
+            for cr in schedule.rounds:
+                results = self.execute_round(cr.as_actions(), cr.meta)
+                heard: dict[int, Message] = {}
+                for channel, group in cr.listens.items():
+                    if group:
+                        msg = results.get(group[0])
+                        if msg is not None:
+                            heard[channel] = msg
+                out.append(heard)
+            return out
+
+        validate = self.params.validate_actions
+        validated_transmits: set[int] = set()
+        keep_records = self._keep_trace or (
+            self.adversary is not None and self.adversary.needs_history
+        )
+        max_rounds = self.params.max_rounds
+        metrics = self.metrics
+        outputs: list[dict[int, Message]] = []
+
+        for cr in schedule.rounds:
+            if max_rounds is not None and self._round_index >= max_rounds:
+                raise ProtocolViolation(
+                    f"round cap exceeded ({max_rounds} rounds); "
+                    "likely a non-terminating configuration"
+                )
+            if validate:
+                self._validate_compiled(cr, validated_transmits)
+
+            adversary_txs: list[Transmission] = []
+            if self.adversary is not None:
+                adversary_txs = list(
+                    self.adversary.act(self._adversary_view(cr.meta))
+                )
+                self._validate_adversary(adversary_txs)
+
+            # Channel resolution over touched channels only.
+            transmitters: dict[int, list[Message | Jam]] = {}
+            for action in cr.transmits.values():
+                transmitters.setdefault(action.channel, []).append(
+                    action.message
+                )
+            adversary_channels: set[int] = set()
+            for tx in adversary_txs:
+                adversary_channels.add(tx.channel)
+                transmitters.setdefault(tx.channel, []).append(tx.payload)
+
+            delivered, deliveries, spoofs = self._decode_channels(
+                transmitters, adversary_channels
+            )
+
+            metrics.rounds += 1
+            metrics.honest_transmissions += len(cr.transmits)
+            metrics.listens += cr.listen_count
+            metrics.adversary_transmissions += len(adversary_txs)
+            metrics.deliveries += deliveries
+            metrics.spoofs_delivered += spoofs
+            if cr.meta.phase:
+                metrics.note_phase(cr.meta.phase)
+
+            if keep_records:
+                self.trace.append(
+                    RoundRecord(
+                        index=self._round_index,
+                        actions=cr.as_actions(),
+                        adversary_transmissions=tuple(adversary_txs),
+                        delivered=SparseDelivered(delivered, self.channels),
+                        meta=cr.meta.as_dict(),
+                    )
+                )
+            self._round_index += 1
+
+            # Lazy listener settlement: only channels that both carried a
+            # decodable message and have listeners produce an entry.
+            heard: dict[int, Message] = {}
+            listens = cr.listens
+            if deliveries:
+                for channel, msg in delivered.items():
+                    if msg is not None and channel in listens:
+                        heard[channel] = msg
+            outputs.append(heard)
+        return outputs

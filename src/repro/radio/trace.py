@@ -19,6 +19,78 @@ from .actions import Action, Listen, Sleep, Transmit
 from .messages import Jam, Message, Transmission
 
 
+class SparseDelivered(Mapping):
+    """A dense-compatible view over a sparse per-channel delivery map.
+
+    Only *touched* channels (those carrying at least one transmission) are
+    stored; every untouched channel reads as ``None`` (silence), which is
+    exactly what the round resolution would have recorded for it.  The view
+    therefore behaves like the dense ``{channel: message-or-None}`` dict the
+    trace historically stored — same ``len`` (``C``), same iteration order
+    (channel ids ascending), same lookups — while costing O(touched) memory
+    per round instead of O(C).  Long-lived traced runs thus scale in the
+    channel count.
+    """
+
+    __slots__ = ("_touched", "_channels")
+
+    def __init__(
+        self, touched: Mapping[int, Message | None], channels: int
+    ) -> None:
+        self._touched = dict(touched)
+        self._channels = channels
+
+    def __getitem__(self, channel: int) -> Message | None:
+        if isinstance(channel, int) and 0 <= channel < self._channels:
+            return self._touched.get(channel)
+        raise KeyError(channel)
+
+    def get(self, channel: int, default: Any = None) -> Message | None:
+        """O(1) lookup; untouched in-range channels read as ``None``."""
+        if isinstance(channel, int) and 0 <= channel < self._channels:
+            return self._touched.get(channel)
+        return default
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._channels))
+
+    def __len__(self) -> int:
+        return self._channels
+
+    def __contains__(self, channel: object) -> bool:
+        return isinstance(channel, int) and 0 <= channel < self._channels
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SparseDelivered):
+            if self._channels != other._channels:
+                return False
+            a = {c: m for c, m in self._touched.items() if m is not None}
+            b = {c: m for c, m in other._touched.items() if m is not None}
+            return a == b
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # mutable-dict semantics, like the dense dict it replaces
+
+    def sparse_items(self) -> Iterator[tuple[int, Message]]:
+        """Iterate only the channels that decoded a message — O(touched)."""
+        return (
+            (channel, msg)
+            for channel, msg in self._touched.items()
+            if msg is not None
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseDelivered({self._touched!r}, channels={self._channels})"
+        )
+
+
 @dataclass(frozen=True)
 class RoundRecord:
     """Everything that happened in one synchronous round.
@@ -106,6 +178,16 @@ class RoundRecord:
         an untouched channel carries no information) — which makes the form
         invariant under dense vs. sparse action submission.
         """
+        delivered = self.delivered
+        if isinstance(delivered, SparseDelivered):
+            delivered_items = list(delivered.sparse_items())
+        else:
+            delivered_items = [
+                (channel, msg)
+                for channel, msg in delivered.items()
+                if msg is not None
+            ]
+        delivered_items.sort(key=lambda item: item[0])
         return {
             "index": self.index,
             "actions": {
@@ -114,11 +196,7 @@ class RoundRecord:
                 if not isinstance(action, Sleep)
             },
             "adversary": self.adversary_transmissions,
-            "delivered": {
-                channel: msg
-                for channel, msg in sorted(self.delivered.items())
-                if msg is not None
-            },
+            "delivered": dict(delivered_items),
             "meta": dict(self.meta),
         }
 
@@ -165,8 +243,15 @@ class ExecutionTrace:
         """All successful spoofs as ``(round, channel, message)`` triples."""
         out: list[tuple[int, int, Message]] = []
         for record in self._rounds:
-            for channel, msg in record.delivered.items():
-                if msg is not None and record.was_spoofed(channel):
+            delivered = record.delivered
+            if isinstance(delivered, SparseDelivered):
+                items = delivered.sparse_items()
+            else:
+                items = (
+                    (c, m) for c, m in delivered.items() if m is not None
+                )
+            for channel, msg in items:
+                if record.was_spoofed(channel):
                     out.append((record.index, channel, msg))
         return out
 

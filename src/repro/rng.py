@@ -94,6 +94,38 @@ class RngRegistry:
         return RngRegistry(derive_seed(self._seed, "spawn", *name_parts))
 
 
+def draw_uniform_indices(
+    stream: random.Random, n: int, count: int
+) -> list[int]:
+    """``count`` uniform draws from ``range(n)``, stream-compatible with
+    ``choice``.
+
+    Consumes **exactly** the same generator state as ``count`` calls of
+    ``stream.choice(seq)`` on a length-``n`` sequence: for a plain
+    :class:`random.Random` the ``choice`` internals are inlined —
+    ``getrandbits(n.bit_length())`` rejection-sampled until the draw is in
+    range, which is CPython's ``_randbelow_with_getrandbits`` — saving two
+    Python frames per draw on hot paths that precompute whole hop
+    sequences.  This is the single home of that interpreter-mirroring
+    invariant; the feedback equivalence tests pin it bit-for-bit against
+    the real ``choice``-driven path.  Exotic stream types fall back to
+    calling ``choice`` itself.
+    """
+    if type(stream) is random.Random:
+        k = n.bit_length()
+        grb = stream.getrandbits
+        out: list[int] = []
+        append = out.append
+        for _ in range(count):
+            r = grb(k)
+            while r >= n:
+                r = grb(k)
+            append(r)
+        return out
+    seq = range(n)
+    return [stream.choice(seq) for _ in range(count)]
+
+
 def sample_distinct(rng: random.Random, population: Sequence[T], k: int) -> list[T]:
     """Sample ``k`` distinct elements; a deterministic thin wrapper.
 

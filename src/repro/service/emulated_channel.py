@@ -31,9 +31,14 @@ from ..crypto.hashes import canonical_encode
 from ..crypto.hopping import ChannelHopper
 from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
-from ..radio.actions import Action, Listen, Transmit
+from ..radio.actions import Transmit
 from ..radio.messages import Message
-from ..radio.network import RadioNetwork, RoundMeta
+from ..radio.network import (
+    CompiledRound,
+    RadioNetwork,
+    RoundMeta,
+    RoundSchedule,
+)
 from ..rng import RngRegistry
 
 SERVICE_KIND = "service-frame"
@@ -159,23 +164,35 @@ class LongLivedChannel:
         listeners = [m for m in self.members if m not in broadcasts]
         deliveries: dict[int, Delivery | None] = {m: None for m in listeners}
 
+        # The epoch's hop pattern is key-derived and the frames are fixed:
+        # compile every real round up front and submit the batch.
+        meta = RoundMeta(phase="service", extra={"emulated_round": er})
+        members_listening = tuple(listeners)
+        epoch: list[CompiledRound] = []
+        hops: list[int] = []
         for _ in range(self.epoch_length()):
             channel = self._hopper.channel(self._real_round_cursor)
-            actions: dict[int, Action] = {}
-            for sender, frame in sealed.items():
-                actions[sender] = Transmit(channel, frame)
-            for member in listeners:
-                actions[member] = Listen(channel)
-            frames = self.network.execute_round(
-                actions,
-                RoundMeta(phase="service", extra={"emulated_round": er}),
-            )
             self._real_round_cursor += 1
+            epoch.append(
+                CompiledRound(
+                    transmits={
+                        sender: Transmit(channel, frame)
+                        for sender, frame in sealed.items()
+                    },
+                    listens={channel: members_listening},
+                    meta=meta,
+                    listen_count=len(members_listening),
+                )
+            )
+            hops.append(channel)
+        heard = self.network.execute_schedule(RoundSchedule(epoch))
+
+        for channel, per_round in zip(hops, heard):
+            frame = per_round.get(channel)
+            if frame is None or frame.kind != SERVICE_KIND:
+                continue
             for member in listeners:
                 if deliveries[member] is not None:
-                    continue
-                frame = frames.get(member)
-                if frame is None or frame.kind != SERVICE_KIND:
                     continue
                 try:
                     claimed_sender, claimed_round, sealed_tuple = frame.payload

@@ -19,9 +19,14 @@ from ..crypto.hashes import canonical_encode
 from ..crypto.hopping import ChannelHopper
 from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
-from ..radio.actions import Action, Listen, Transmit
+from ..radio.actions import Transmit
 from ..radio.messages import Message
-from ..radio.network import RadioNetwork, RoundMeta
+from ..radio.network import (
+    CompiledRound,
+    RadioNetwork,
+    RoundMeta,
+    RoundSchedule,
+)
 
 PAIRWISE_KIND = "pairwise-frame"
 
@@ -123,20 +128,30 @@ class PairwiseChannel:
             sender=sender,
             payload=(sender, exchange, sealed.as_tuple()),
         )
-        delivery: PairwiseDelivery | None = None
+        # The epoch is a fixed hop sequence with a static frame: compile
+        # it once and submit it as one batch.
+        meta = RoundMeta(phase="pairwise", extra={"exchange": exchange})
+        epoch: list[CompiledRound] = []
+        hops: list[int] = []
         for _ in range(self.epoch_length()):
             channel = self._hopper.channel(self._cursor)
             self._cursor += 1
-            actions: dict[int, Action] = {}
-            actions[sender] = Transmit(channel, frame)
-            actions[receiver] = Listen(channel)
-            results = self.network.execute_round(
-                actions,
-                RoundMeta(phase="pairwise", extra={"exchange": exchange}),
+            epoch.append(
+                CompiledRound(
+                    transmits={sender: Transmit(channel, frame)},
+                    listens={channel: (receiver,)},
+                    meta=meta,
+                    listen_count=1,
+                )
             )
+            hops.append(channel)
+        heard = self.network.execute_schedule(RoundSchedule(epoch))
+
+        delivery: PairwiseDelivery | None = None
+        for channel, per_round in zip(hops, heard):
             if delivery is not None:
-                continue  # keep hopping to the end of the epoch (lockstep)
-            got = results.get(receiver)
+                continue  # the epoch ran to its end regardless (lockstep)
+            got = per_round.get(channel)
             if got is None or got.kind != PAIRWISE_KIND:
                 continue
             try:

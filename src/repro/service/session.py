@@ -30,9 +30,14 @@ from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
 from ..groupkey.protocol import GroupKeyProtocol
 from ..groupkey.result import GroupKeyResult
-from ..radio.actions import Action, Listen, Transmit
+from ..radio.actions import Transmit
 from ..radio.messages import Message
-from ..radio.network import RadioNetwork, RoundMeta
+from ..radio.network import (
+    CompiledRound,
+    RadioNetwork,
+    RoundMeta,
+    RoundSchedule,
+)
 from ..rng import RngRegistry
 from .emulated_channel import Delivery, LongLivedChannel
 
@@ -215,7 +220,14 @@ class SecureSession:
                 label=("rekey", generation, distributor, member),
             )
             cipher = AuthenticatedCipher(pair_key)
-            received = False
+            # Key-derived hops, deterministic ciphertexts: compile the
+            # member's whole epoch and submit it in one batch.
+            meta = RoundMeta(
+                phase="rekey",
+                extra={"generation": generation, "member": member},
+            )
+            epoch: list[CompiledRound] = []
+            hops: list[int] = []
             for r in range(epoch_rounds):
                 channel = hopper.channel(r)
                 sealed = cipher.encrypt(
@@ -223,24 +235,29 @@ class SecureSession:
                     nonce=nonce_from_counter(generation, epoch_index, r),
                     associated=b"rekey",
                 )
-                actions: dict[int, Action] = {}
-                actions[distributor] = Transmit(
-                    channel,
-                    Message(
-                        kind=REKEY_KIND,
-                        sender=distributor,
-                        payload=(generation, sealed.as_tuple()),
-                    ),
+                epoch.append(
+                    CompiledRound(
+                        transmits={
+                            distributor: Transmit(
+                                channel,
+                                Message(
+                                    kind=REKEY_KIND,
+                                    sender=distributor,
+                                    payload=(generation, sealed.as_tuple()),
+                                ),
+                            )
+                        },
+                        listens={channel: (member,)},
+                        meta=meta,
+                        listen_count=1,
+                    )
                 )
-                actions[member] = Listen(channel)
-                frames = self.network.execute_round(
-                    actions,
-                    RoundMeta(
-                        phase="rekey",
-                        extra={"generation": generation, "member": member},
-                    ),
-                )
-                frame = frames.get(member)
+                hops.append(channel)
+            heard = self.network.execute_schedule(RoundSchedule(epoch))
+
+            received = False
+            for channel, per_round in zip(hops, heard):
+                frame = per_round.get(channel)
                 if received or frame is None or frame.kind != REKEY_KIND:
                     continue
                 try:
