@@ -2,56 +2,45 @@
 
 Commands
 --------
-``fame``      run f-AME on a generated workload and print the outcome table
-``groupkey``  run the Section 6 group-key establishment
-``service``   run the full pipeline and exchange a few chat messages
-``gauntlet``  run f-AME against every adversary in the gallery
+``fame``        run f-AME on a generated workload and print the outcome table
+``groupkey``    run the Section 6 group-key establishment
+``service``     run the full pipeline and exchange a few chat messages
+``gauntlet``    run f-AME against every adversary in the gallery
+``montecarlo``  fan many independent seeded trials over a process pool and
+                print a JSON sweep report (Wilson intervals, disruptability
+                histogram, merged radio metrics)
 
 Common options: ``--nodes``, ``--channels``, ``--strength`` (t), ``--seed``,
-``--adversary``.  Every run is deterministic given the seed.
+``--adversary``.  Every run is deterministic given the seed — for
+``montecarlo`` the *report* is deterministic regardless of ``--workers``::
+
+    python -m repro montecarlo --trials 100 --workers 4 --seed 7
+
+produces merged metrics byte-identical to the same sweep at ``--workers 1``
+(100 trials is also enough for an informative 1/n verdict at the default
+``n=20``; see ``repro.analysis.stats.min_informative_trials``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 
 from . import __version__
-from .adversary import (
-    Adversary,
-    NullAdversary,
-    RandomJammer,
-    ReactiveJammer,
-    ScheduleAwareJammer,
-    SpoofingAdversary,
-    SweepJammer,
-)
+from .adversary import Adversary
 from .crypto.dh import TEST_GROUP_128
+from .experiments import MonteCarloRunner, WORKLOADS, default_pairs
+from .experiments.workloads import (
+    ADVERSARY_FACTORIES as ADVERSARIES,
+    make_network as _make_network,
+)
 from .fame import run_fame
 from .groupkey import establish_group_key
 from .radio.network import RadioNetwork
 from .rng import RngRegistry
 from .service import SecureSession
-
-ADVERSARIES = {
-    "null": lambda rng: NullAdversary(),
-    "random": RandomJammer,
-    "sweep": lambda rng: SweepJammer(),
-    "reactive": ReactiveJammer,
-    "spoofer": SpoofingAdversary,
-    "schedule": lambda rng: ScheduleAwareJammer(rng, policy="prefix"),
-}
-
-
-def _make_network(
-    n: int, channels: int, t: int, adversary: Adversary
-) -> RadioNetwork:
-    return RadioNetwork(
-        n, channels, t,
-        adversary=adversary,
-        keep_trace=adversary.needs_history,
-    )
 
 
 def _build_network(args: argparse.Namespace) -> RadioNetwork:
@@ -61,13 +50,9 @@ def _build_network(args: argparse.Namespace) -> RadioNetwork:
     return _make_network(args.nodes, args.channels, args.strength, adversary)
 
 
-def _default_pairs(n: int, count: int) -> list[tuple[int, int]]:
-    return [(i, i + n // 2) for i in range(min(count, n // 2 - 1))]
-
-
 def cmd_fame(args: argparse.Namespace) -> int:
     network = _build_network(args)
-    pairs = _default_pairs(args.nodes, args.pairs)
+    pairs = default_pairs(args.nodes, args.pairs)
     result = run_fame(network, pairs, rng=RngRegistry(seed=args.seed))
     print(f"f-AME: {len(result.succeeded)}/{len(pairs)} pairs delivered in "
           f"{result.rounds} rounds ({result.moves} game moves)")
@@ -112,7 +97,7 @@ def cmd_service(args: argparse.Namespace) -> int:
 
 
 def cmd_gauntlet(args: argparse.Namespace) -> int:
-    pairs = _default_pairs(args.nodes, args.pairs)
+    pairs = default_pairs(args.nodes, args.pairs)
     worst = 0
     for name, factory in ADVERSARIES.items():
         network = _make_network(
@@ -126,6 +111,37 @@ def cmd_gauntlet(args: argparse.Namespace) -> int:
     print(f"worst cover {worst} <= t={args.strength}: "
           f"{'OK' if worst <= args.strength else 'VIOLATED'}")
     return 0 if worst <= args.strength else 1
+
+
+def cmd_montecarlo(args: argparse.Namespace) -> int:
+    runner = MonteCarloRunner(
+        args.workload,
+        args.trials,
+        seed=args.seed,
+        workers=args.workers,
+        chunksize=args.chunksize,
+        n=args.nodes,
+        channels=args.channels,
+        t=args.strength,
+        pairs=args.pairs,
+        adversary=args.adversary,
+    )
+    report = runner.run()
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    # Exit non-zero only when the w.h.p. claim was checkable and failed;
+    # an uninformative trial count reports claim_holds=null and exits 0.
+    return 1 if report.whp_claim is False else 0
+
+
+def _add_common_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", "-n", type=int, default=20)
+    p.add_argument("--channels", "-c", type=int, default=2)
+    p.add_argument("--strength", "-t", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pairs", type=int, default=5)
+    p.add_argument(
+        "--adversary", choices=sorted(ADVERSARIES), default="schedule"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,15 +160,34 @@ def build_parser() -> argparse.ArgumentParser:
         ("gauntlet", cmd_gauntlet, "f-AME vs the adversary gallery"),
     ):
         p = sub.add_parser(name, help=blurb)
-        p.add_argument("--nodes", "-n", type=int, default=20)
-        p.add_argument("--channels", "-c", type=int, default=2)
-        p.add_argument("--strength", "-t", type=int, default=1)
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--pairs", type=int, default=5)
-        p.add_argument(
-            "--adversary", choices=sorted(ADVERSARIES), default="schedule"
-        )
+        _add_common_options(p)
         p.set_defaults(handler=handler)
+    mc = sub.add_parser(
+        "montecarlo",
+        help="multiprocess Monte Carlo trial sweep (JSON report)",
+        description="Fan independent seeded trials over a process pool and "
+        "print a JSON sweep report: Wilson success intervals, a "
+        "disruptability histogram, and merged radio metrics.  The report "
+        "is deterministic given --seed: any --workers count produces "
+        "byte-identical merged metrics.",
+        epilog="example: python -m repro montecarlo --trials 100 --workers 4 "
+        "--seed 7",
+    )
+    _add_common_options(mc)
+    # Default chosen so the bare invocation is informative for the 1/n
+    # claim at the default n=20 (min_informative_trials(20) == 73).
+    mc.add_argument("--trials", type=int, default=100)
+    mc.add_argument("--workers", "-j", type=int, default=1)
+    mc.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="trials per worker dispatch (default: trials // (workers * 4))",
+    )
+    mc.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="fame"
+    )
+    mc.set_defaults(handler=cmd_montecarlo)
     return parser
 
 

@@ -13,8 +13,17 @@ from .vertex_cover import (
     min_vertex_cover,
     vertex_cover_number,
 )
-from .disruption import disruption_graph, disruptability
-from .stats import wilson_interval, empirical_rate
+from .disruption import (
+    disruptability,
+    disruptability_histogram,
+    disruption_graph,
+)
+from .stats import (
+    empirical_rate,
+    meets_whp,
+    min_informative_trials,
+    wilson_interval,
+)
 from .complexity import fit_power_law, scaling_ratios
 from .graphs import (
     is_k_connected,
@@ -32,6 +41,7 @@ from .theory import (
 
 __all__ = [
     "disruptability",
+    "disruptability_histogram",
     "disruption_graph",
     "empirical_rate",
     "feedback_miss_probability",
@@ -41,6 +51,8 @@ __all__ = [
     "hopping_miss_probability",
     "is_k_connected",
     "matching_lower_bound",
+    "meets_whp",
+    "min_informative_trials",
     "node_connectivity",
     "triangle_count",
     "union_bound_failure",

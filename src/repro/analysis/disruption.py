@@ -8,6 +8,7 @@ some ``d`` nodes account for every failure.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Iterable, Mapping
 
 from .vertex_cover import has_cover_at_most, min_vertex_cover
@@ -37,3 +38,22 @@ def is_d_disruptable(
 ) -> bool:
     """Check Definition 1's property 3 for a given ``d``."""
     return has_cover_at_most(failed_pairs, d)
+
+
+def disruptability_histogram(covers: Iterable[int]) -> dict[int, int]:
+    """Histogram of per-run disruptability values across many executions.
+
+    Parameters
+    ----------
+    covers:
+        One cover size per execution (each run's :func:`disruptability` of
+        its failed pairs).  Takes precomputed values rather than the raw
+        failed-pair sets because callers — e.g. the Monte Carlo runner —
+        typically need the per-run covers anyway (min vertex cover is
+        exact and worst-case exponential, so it should run once per run,
+        ideally inside the worker that produced the run).
+
+    Returns the map ``cover size -> number of runs``; an empty input yields
+    an empty histogram.
+    """
+    return dict(Counter(covers))

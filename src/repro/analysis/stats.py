@@ -24,7 +24,18 @@ class RateEstimate:
 
     @property
     def point(self) -> float:
-        """The maximum-likelihood rate."""
+        """The maximum-likelihood rate.
+
+        NaN contract: when ``trials == 0`` there is no rate to estimate and
+        this returns ``float("nan")`` — *not* ``0.0``, which would read as
+        an observed zero rate.  NaN compares false against everything
+        (including itself), so thresholds like ``est.point >= 0.9`` safely
+        fail on an empty estimate; callers that need to branch must check
+        ``trials`` (or ``math.isnan``) explicitly.  :func:`empirical_rate`
+        never builds an empty estimate (``wilson_interval`` rejects
+        ``trials <= 0``); the contract exists for directly-constructed
+        instances, e.g. placeholder rows in sweep reports.
+        """
         return self.successes / self.trials if self.trials else float("nan")
 
 
@@ -62,11 +73,58 @@ def empirical_rate(successes: int, trials: int, z: float = 1.96) -> RateEstimate
     return RateEstimate(successes=successes, trials=trials, low=low, high=high)
 
 
-def meets_whp(failures: int, trials: int, n: int) -> bool:
+def min_informative_trials(n: int, z: float = 1.96) -> int:
+    """Smallest trial count whose Wilson interval can resolve a ``1/n`` rate.
+
+    The narrowest interval a binomial experiment of ``T`` trials can
+    produce is the zero-failure one, whose Wilson upper bound is
+    ``z^2 / (T + z^2)``.  Requiring that bound to reach ``1/n`` gives the
+    closed form ``T >= z^2 * (n - 1)``: with fewer trials, even a run with
+    *no* observed failures leaves the interval straddling ``1/n``, so no
+    outcome of the experiment carries information about the w.h.p. claim.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    needed = math.ceil(z * z * (n - 1))
+    # ceil() works on a float product, which can land one ulp short of the
+    # invariant for (rare) n where z^2 * (n-1) is representable exactly;
+    # step forward until the documented bound actually holds.
+    while needed >= 1 and wilson_interval(0, needed, z)[1] > 1.0 / n:
+        needed += 1
+    return needed
+
+
+def meets_whp(failures: int, trials: int, n: int, z: float = 1.96) -> bool:
     """Conservatively check an observed failure rate against the 1/n target.
 
-    Accepts when the Wilson lower bound of the *failure* rate is below
-    ``1/n`` — i.e. we cannot statistically reject the w.h.p. claim.
+    Decision rule
+    -------------
+    1. **Reject** (return ``False``) when the Wilson lower bound of the
+       observed failure rate exceeds ``1/n`` — a rejection is statistically
+       valid at *any* trial count (e.g. 72 failures out of 72 trials
+       decisively refutes a 1/20 claim).
+    2. Otherwise the data is consistent with the claim, and *accepting*
+       requires an informative experiment: ``trials`` must be at least
+       :func:`min_informative_trials` (``ceil(z^2 * (n - 1))``), the point
+       at which a zero-failure run pins the Wilson upper bound at or below
+       ``1/n``.  Below that threshold every consistent outcome has a
+       Wilson lower bound of ~0 and acceptance would be vacuous — e.g. the
+       old behaviour of ``meets_whp(0, 1, n)`` "confirming" a ``1/n``
+       claim from a single trial.  Such calls raise :class:`ValueError`
+       instead of returning a meaningless ``True``.
+    3. Given an informative trial count, accept: the data cannot
+       statistically reject the w.h.p. claim.
     """
-    low, _high = wilson_interval(failures, trials)
-    return low <= 1.0 / n
+    if n < 1:
+        raise ValueError("n must be positive")
+    low, _high = wilson_interval(failures, trials, z)
+    if low > 1.0 / n:
+        return False
+    needed = min_informative_trials(n, z)
+    if trials < needed:
+        raise ValueError(
+            f"{trials} trials cannot support a 1/{n} failure-rate claim: "
+            "even zero observed failures would leave the Wilson interval "
+            f"straddling 1/{n}; need >= {needed} trials"
+        )
+    return True

@@ -1,0 +1,43 @@
+"""Monte Carlo experiment harness for the paper's w.h.p. claims.
+
+The guarantees reproduced here — ``t``-disruptability (Definition 1),
+group-key adoption by all but ``t`` nodes (Section 6) — hold "with high
+probability", so verifying them means many independent seeded executions,
+not one.  This package turns that into a subsystem:
+
+* :class:`~repro.experiments.trial.TrialSpec` /
+  :class:`~repro.experiments.trial.TrialResult` — one execution as a
+  picklable unit of work and its outcome;
+* :mod:`~repro.experiments.workloads` — ready-made factories for the
+  headline workloads (f-AME delivery, group-key establishment, the
+  adversary gauntlet) plus the shared adversary gallery;
+* :class:`~repro.experiments.runner.MonteCarloRunner` — fans trials over a
+  ``multiprocessing`` pool and aggregates Wilson intervals, disruptability
+  histograms, and merged radio metrics into a
+  :class:`~repro.experiments.runner.MonteCarloReport`.
+
+``python -m repro montecarlo`` is the CLI front-end.
+"""
+
+from .runner import MonteCarloReport, MonteCarloRunner
+from .trial import TrialResult, TrialSpec, trial_seed
+from .workloads import (
+    ADVERSARY_FACTORIES,
+    WORKLOADS,
+    default_pairs,
+    make_adversary,
+    run_trial,
+)
+
+__all__ = [
+    "ADVERSARY_FACTORIES",
+    "MonteCarloReport",
+    "MonteCarloRunner",
+    "TrialResult",
+    "TrialSpec",
+    "WORKLOADS",
+    "default_pairs",
+    "make_adversary",
+    "run_trial",
+    "trial_seed",
+]

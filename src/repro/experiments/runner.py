@@ -1,0 +1,289 @@
+"""The multiprocess Monte Carlo trial runner.
+
+:class:`MonteCarloRunner` fans independent seeded trials over a
+``multiprocessing`` pool (serial fallback at ``workers <= 1``) and folds
+the outcomes into one :class:`MonteCarloReport`:
+
+* per-trial seeds come from ``RngRegistry(seed).spawn("trial", i)`` — a
+  pure function of the master seed and the trial *index*, so seeds are
+  identical regardless of worker count or scheduling order;
+* counters merge via :meth:`~repro.radio.metrics.NetworkMetrics.merge`
+  in trial-index order, so a parallel sweep's merged metrics are
+  byte-identical to a serial one's;
+* success rates get Wilson intervals (:func:`~repro.analysis.stats.
+  empirical_rate`) and the ``1/n`` w.h.p. claim is checked with
+  :func:`~repro.analysis.stats.meets_whp` only when the trial count is
+  informative for it;
+* per-trial disruptability (``min_vertex_cover`` over failed pairs,
+  Definition 1) is histogrammed.
+
+Workers re-derive everything from the picklable :class:`TrialSpec`, so the
+runner works under ``fork``, ``forkserver``, and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import asdict, dataclass
+from typing import Any, Sequence
+
+from ..analysis.disruption import disruptability_histogram
+from ..analysis.stats import (
+    RateEstimate,
+    empirical_rate,
+    meets_whp,
+    min_informative_trials,
+)
+from ..errors import ConfigurationError
+from ..radio.metrics import NetworkMetrics
+from ..rng import RngRegistry
+from .trial import TrialResult, TrialSpec
+from .workloads import ADVERSARY_FACTORIES, WORKLOADS, run_trial
+
+
+@dataclass(frozen=True)
+class MonteCarloReport:
+    """Aggregated outcome of one Monte Carlo sweep.
+
+    ``as_dict`` renders the JSON sweep report; dump it with
+    ``json.dumps(report.as_dict(), sort_keys=True)`` and the
+    ``merged_metrics`` section is byte-identical across worker counts.
+    """
+
+    workload: str
+    seed: int
+    workers: int
+    chunksize: int
+    n: int
+    channels: int
+    t: int
+    pairs: int
+    adversary: str
+    results: tuple[TrialResult, ...]
+    # Per-trial covers, index-aligned with ``results`` — computed once in
+    # ``aggregate`` (min_vertex_cover is exact/exponential worst case) and
+    # reused by both the histogram and ``as_dict``.
+    trial_covers: tuple[int, ...]
+    merged_metrics: NetworkMetrics
+    success: RateEstimate
+    disruptability_histogram: dict[int, int]
+    whp_informative: bool
+    whp_claim: bool | None
+
+    @property
+    def trials(self) -> int:
+        """Number of executed trials."""
+        return len(self.results)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready report; deterministic given the sweep inputs."""
+        hist = {
+            str(cover): count
+            for cover, count in sorted(self.disruptability_histogram.items())
+        }
+        covers = sorted(self.disruptability_histogram)
+        total = sum(
+            cover * count
+            for cover, count in self.disruptability_histogram.items()
+        )
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "trials": self.trials,
+            "workers": self.workers,
+            "chunksize": self.chunksize,
+            "model": {
+                "n": self.n,
+                "channels": self.channels,
+                "t": self.t,
+                "pairs": self.pairs,
+                "adversary": self.adversary,
+            },
+            "success_rate": {
+                "successes": self.success.successes,
+                "trials": self.success.trials,
+                "point": self.success.point,
+                "wilson_low": self.success.low,
+                "wilson_high": self.success.high,
+            },
+            "whp": {
+                "n": self.n,
+                "target_failure_rate": 1.0 / self.n,
+                "min_informative_trials": min_informative_trials(self.n),
+                "informative": self.whp_informative,
+                "claim_holds": self.whp_claim,
+            },
+            "disruptability": {
+                "histogram": hist,
+                "max": covers[-1] if covers else 0,
+                "mean": total / self.trials if self.trials else 0.0,
+            },
+            "merged_metrics": asdict(self.merged_metrics),
+            "trial_outcomes": [
+                {
+                    "index": r.index,
+                    "seed": r.seed,
+                    "success": r.success,
+                    "disruptability": cover,
+                }
+                for r, cover in zip(self.results, self.trial_covers)
+            ],
+        }
+
+
+class MonteCarloRunner:
+    """Run ``trials`` independent seeded executions of one workload.
+
+    Parameters
+    ----------
+    workload:
+        Name from :data:`repro.experiments.workloads.WORKLOADS`.
+    trials:
+        Number of independent executions.
+    seed:
+        Master seed; trial ``i`` runs from
+        ``RngRegistry(seed).spawn("trial", i)``.
+    workers:
+        Pool size; ``<= 1`` runs serially in-process (no pool at all),
+        which is also the fallback for environments without working
+        ``multiprocessing``.
+    chunksize:
+        Trials handed to a worker per dispatch.  ``None`` picks
+        ``max(1, trials // (workers * 4))`` — large enough to amortise
+        pickling, small enough to keep the pool balanced when trial wall
+        times vary.
+    n, channels, t, pairs, adversary:
+        Forwarded into every :class:`TrialSpec`.
+    options:
+        Workload-specific extras forwarded into every spec.
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        trials: int,
+        *,
+        seed: int = 0,
+        workers: int = 1,
+        chunksize: int | None = None,
+        n: int = 20,
+        channels: int = 2,
+        t: int = 1,
+        pairs: int = 5,
+        adversary: str = "schedule",
+        options: tuple[tuple[str, Any], ...] = (),
+    ) -> None:
+        if workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {workload!r}; pick from {sorted(WORKLOADS)}"
+            )
+        if adversary not in ADVERSARY_FACTORIES:
+            raise ConfigurationError(
+                f"unknown adversary {adversary!r}; pick from "
+                f"{sorted(ADVERSARY_FACTORIES)}"
+            )
+        if trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be >= 1 when given")
+        self.workload = workload
+        self.trials = trials
+        self.seed = int(seed)
+        self.workers = workers
+        self.chunksize = chunksize
+        self.n = n
+        self.channels = channels
+        self.t = t
+        self.pairs = pairs
+        self.adversary = adversary
+        self.options = tuple(options)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_chunksize(self) -> int:
+        """The chunksize actually handed to ``Pool.map``."""
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, self.trials // (self.workers * 4))
+
+    def specs(self) -> list[TrialSpec]:
+        """All trial specs, seeds derived from the trial index alone."""
+        root = RngRegistry(seed=self.seed)
+        return [
+            TrialSpec(
+                workload=self.workload,
+                index=i,
+                seed=root.spawn("trial", i).seed,
+                n=self.n,
+                channels=self.channels,
+                t=self.t,
+                pairs=self.pairs,
+                adversary=self.adversary,
+                options=self.options,
+            )
+            for i in range(self.trials)
+        ]
+
+    def run(self) -> MonteCarloReport:
+        """Execute every trial and aggregate."""
+        specs = self.specs()
+        if self.workers <= 1:
+            results: list[TrialResult] = [run_trial(s) for s in specs]
+        else:
+            ctx = multiprocessing.get_context()
+            with ctx.Pool(processes=self.workers) as pool:
+                # Pool.map returns results in submission order no matter
+                # which worker ran what, so aggregation below is oblivious
+                # to scheduling.
+                results = pool.map(
+                    run_trial, specs, chunksize=self.effective_chunksize
+                )
+        return self.aggregate(results)
+
+    def aggregate(self, results: Sequence[TrialResult]) -> MonteCarloReport:
+        """Fold trial results (any order) into the deterministic report."""
+        ordered = sorted(results, key=lambda r: r.index)
+        if not ordered:
+            raise ConfigurationError("cannot aggregate zero trial results")
+        # merge promotes to the more derived operand type, so a plain base
+        # seed is safe even when trials carry a metrics subclass, and the
+        # report's counters are always a fresh object.
+        merged = NetworkMetrics()
+        for result in ordered:
+            merged = merged.merge(result.metrics)
+        successes = sum(1 for r in ordered if r.success)
+        estimate = empirical_rate(successes, len(ordered))
+        covers = tuple(r.disruptability() for r in ordered)
+        histogram = disruptability_histogram(covers)
+        # meets_whp owns the informative-trials gate (it raises below
+        # min_informative_trials); an uninformative sweep reports None
+        # rather than a vacuous confirmation.
+        try:
+            claim: bool | None = meets_whp(
+                len(ordered) - successes, len(ordered), self.n
+            )
+            informative = True
+        except ValueError:
+            claim = None
+            informative = False
+        return MonteCarloReport(
+            workload=self.workload,
+            seed=self.seed,
+            workers=self.workers,
+            chunksize=self.effective_chunksize,
+            n=self.n,
+            channels=self.channels,
+            t=self.t,
+            pairs=self.pairs,
+            adversary=self.adversary,
+            results=tuple(ordered),
+            trial_covers=covers,
+            merged_metrics=merged,
+            success=estimate,
+            disruptability_histogram=histogram,
+            whp_informative=informative,
+            whp_claim=claim,
+        )

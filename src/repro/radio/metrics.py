@@ -7,7 +7,7 @@ that disable trace retention still get round/energy accounting from here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import MISSING, dataclass, field, fields
 
 
 @dataclass
@@ -49,21 +49,44 @@ class NetworkMetrics:
         self.rounds_by_phase[phase] = self.rounds_by_phase.get(phase, 0) + 1
 
     def merge(self, other: "NetworkMetrics") -> "NetworkMetrics":
-        """Return a new metrics object summing ``self`` and ``other``."""
-        merged = NetworkMetrics(
-            rounds=self.rounds + other.rounds,
-            honest_transmissions=self.honest_transmissions
-            + other.honest_transmissions,
-            listens=self.listens + other.listens,
-            deliveries=self.deliveries + other.deliveries,
-            collisions=self.collisions + other.collisions,
-            adversary_transmissions=self.adversary_transmissions
-            + other.adversary_transmissions,
-            spoofs_delivered=self.spoofs_delivered + other.spoofs_delivered,
-        )
-        merged.rounds_by_phase = dict(self.rounds_by_phase)
-        for phase, count in other.rounds_by_phase.items():
-            merged.rounds_by_phase[phase] = (
-                merged.rounds_by_phase.get(phase, 0) + count
+        """Return a new metrics object summing ``self`` and ``other``.
+
+        The merge is *total* by construction: the result's class is the
+        more derived of the two operand types (which must be related by
+        subclassing; unrelated types raise :class:`TypeError`), and every
+        dataclass field of that class participates — a counter added
+        later, including by a subclass, merges automatically instead of
+        being silently dropped.  The property is what lets the Monte Carlo
+        harness fold per-trial metrics with a plain
+        ``NetworkMetrics().merge(...)`` seed, and
+        ``tests/test_radio_trace.py`` pins it by field enumeration.  A
+        field absent on one operand (base-class instance merged with a
+        subclass's) contributes its declared default.  Scalar counters
+        add; dict-valued counters (``rounds_by_phase``) merge key-wise by
+        addition.
+        """
+        if isinstance(other, type(self)):
+            merged = type(other)()
+        elif isinstance(self, type(other)):
+            merged = type(self)()
+        else:
+            raise TypeError(
+                f"cannot merge {type(self).__name__} with unrelated "
+                f"{type(other).__name__}"
             )
+        for f in fields(merged):
+            default = (
+                f.default_factory()
+                if f.default_factory is not MISSING
+                else f.default
+            )
+            mine = getattr(self, f.name, default)
+            theirs = getattr(other, f.name, default)
+            if isinstance(mine, dict):
+                combined = dict(mine)
+                for key, count in theirs.items():
+                    combined[key] = combined.get(key, 0) + count
+                setattr(merged, f.name, combined)
+            else:
+                setattr(merged, f.name, mine + theirs)
         return merged

@@ -110,7 +110,17 @@ def draw_uniform_indices(
     invariant; the feedback equivalence tests pin it bit-for-bit against
     the real ``choice``-driven path.  Exotic stream types fall back to
     calling ``choice`` itself.
+
+    Raises :class:`ValueError` when ``n <= 0``: an empty range is a caller
+    bug in this API, reported like ``sample``'s over-draw ``ValueError``
+    (deliberately *not* ``choice``'s ``IndexError`` — ``n`` is a count
+    here, not a sequence lookup).  The guard sits before either path:
+    without it the fast path's rejection loop — ``getrandbits(0)`` is
+    always ``0``, which is never ``< n`` — would spin forever, and the
+    fallback would surface ``choice``'s ``IndexError`` instead.
     """
+    if n <= 0:
+        raise ValueError(f"cannot draw indices from an empty range (n={n})")
     if type(stream) is random.Random:
         k = n.bit_length()
         grb = stream.getrandbits

@@ -7,8 +7,19 @@ import math
 import pytest
 
 from repro.analysis.complexity import fit_power_law, normalized_cost, scaling_ratios
-from repro.analysis.disruption import disruptability, disruption_graph, is_d_disruptable
-from repro.analysis.stats import RateEstimate, empirical_rate, meets_whp, wilson_interval
+from repro.analysis.disruption import (
+    disruptability,
+    disruptability_histogram,
+    disruption_graph,
+    is_d_disruptable,
+)
+from repro.analysis.stats import (
+    RateEstimate,
+    empirical_rate,
+    meets_whp,
+    min_informative_trials,
+    wilson_interval,
+)
 
 
 class TestDisruption:
@@ -28,6 +39,17 @@ class TestDisruption:
     def test_empty_failures_zero_disruptable(self):
         assert disruptability([]) == 0
         assert is_d_disruptable([], 0)
+
+    def test_disruptability_histogram(self):
+        runs = [
+            [],                        # cover 0
+            [(0, 1)],                  # cover 1
+            [(0, 1), (0, 2), (0, 3)],  # star: cover 1
+            [(0, 1), (2, 3)],          # matching: cover 2
+        ]
+        covers = [disruptability(failed) for failed in runs]
+        assert disruptability_histogram(covers) == {0: 1, 1: 2, 2: 1}
+        assert disruptability_histogram([]) == {}
 
 
 class TestWilson:
@@ -67,6 +89,50 @@ class TestWilson:
 
     def test_meets_whp_rejects_gross_failure_rates(self):
         assert not meets_whp(100, 200, n=50)
+
+    def test_meets_whp_single_trial_no_longer_vacuous(self):
+        # Regression: one trial used to "confirm" a 1/n claim because the
+        # Wilson lower bound of any tiny sample is ~0.
+        with pytest.raises(ValueError):
+            meets_whp(0, 1, n=50)
+
+    def test_meets_whp_raises_just_below_threshold(self):
+        needed = min_informative_trials(50)
+        with pytest.raises(ValueError):
+            meets_whp(0, needed - 1, n=50)
+        assert meets_whp(0, needed, n=50)
+
+    def test_meets_whp_small_sample_rejection_still_valid(self):
+        # A decisive rejection needs no minimum trial count: 72/72
+        # failures refutes a 1/20 claim even though 72 < the 73 trials an
+        # acceptance would need.
+        assert not meets_whp(72, 72, n=20)
+        assert not meets_whp(10, 10, n=50)
+
+    def test_min_informative_trials_closed_form(self):
+        # Zero-failure Wilson upper bound z^2/(T+z^2) reaches 1/n exactly
+        # at T = z^2 (n-1).  n=1251 pins the one-ulp float edge where
+        # ceil() alone lands one trial short of the invariant.
+        for n in (2, 10, 50, 1000, 1251):
+            needed = min_informative_trials(n)
+            assert wilson_interval(0, needed)[1] <= 1.0 / n
+            if needed > 1:
+                assert wilson_interval(0, needed - 1)[1] > 1.0 / n
+
+    def test_min_informative_trials_validates_n(self):
+        with pytest.raises(ValueError):
+            min_informative_trials(0)
+
+    def test_meets_whp_validates_n(self):
+        with pytest.raises(ValueError):
+            meets_whp(0, 100, n=0)
+        with pytest.raises(ValueError):
+            meets_whp(5, 100, n=-3)
+
+    def test_rate_estimate_point_nan_contract(self):
+        est = RateEstimate(successes=0, trials=0, low=0.0, high=1.0)
+        assert math.isnan(est.point)
+        assert not est.point >= 0.0  # NaN fails every threshold
 
 
 class TestPowerLawFit:

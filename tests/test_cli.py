@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -48,3 +50,44 @@ class TestCommands:
         assert main(["service", "-n", "18", "--adversary", "random"]) == 0
         out = capsys.readouterr().out
         assert "per-message cost" in out
+
+    def test_montecarlo_defaults(self):
+        args = build_parser().parse_args(["montecarlo"])
+        assert args.trials == 100 and args.workers == 1
+        assert args.workload == "fame" and args.chunksize is None
+
+    def test_montecarlo_default_trials_are_whp_informative(self):
+        from repro.analysis.stats import min_informative_trials
+
+        args = build_parser().parse_args(["montecarlo"])
+        assert args.trials >= min_informative_trials(args.nodes)
+
+    def test_montecarlo_reports_json_sweep(self, capsys):
+        assert main(
+            ["montecarlo", "--trials", "4", "-n", "18", "--seed", "7"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["trials"] == 4
+        assert "wilson_low" in report["success_rate"]
+        assert "histogram" in report["disruptability"]
+        # 4 trials cannot resolve a 1/18 claim: reported, not confirmed.
+        assert report["whp"]["claim_holds"] is None
+        assert report["whp"]["informative"] is False
+
+    def test_montecarlo_workers_do_not_change_report(self, capsys):
+        assert main(
+            ["montecarlo", "--trials", "4", "-n", "18", "--seed", "7",
+             "--workers", "2"]
+        ) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert main(
+            ["montecarlo", "--trials", "4", "-n", "18", "--seed", "7"]
+        ) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert json.dumps(parallel["merged_metrics"], sort_keys=True) == \
+            json.dumps(serial["merged_metrics"], sort_keys=True)
+        assert parallel["trial_outcomes"] == serial["trial_outcomes"]
+        # only the execution-shape fields may differ
+        parallel.pop("workers"), serial.pop("workers")
+        parallel.pop("chunksize"), serial.pop("chunksize")
+        assert parallel == serial

@@ -1,0 +1,284 @@
+"""Tests for the Monte Carlo trial harness (``repro.experiments``)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pickle
+from dataclasses import asdict
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    MonteCarloRunner,
+    TrialResult,
+    TrialSpec,
+    WORKLOADS,
+    default_pairs,
+    run_trial,
+    trial_seed,
+)
+from repro.radio.actions import Transmit
+from repro.radio.messages import Message
+from repro.radio.metrics import NetworkMetrics
+from repro.radio.network import CompiledRound, RoundMeta, RoundSchedule
+from repro.rng import RngRegistry
+
+N = 18  # smallest population comfortably above the f-AME witness bound
+
+
+def make_runner(workers: int = 1, trials: int = 6, **kwargs) -> MonteCarloRunner:
+    kwargs.setdefault("n", N)
+    kwargs.setdefault("pairs", 4)
+    return MonteCarloRunner(
+        kwargs.pop("workload", "fame"),
+        trials,
+        seed=kwargs.pop("seed", 7),
+        workers=workers,
+        **kwargs,
+    )
+
+
+def metrics_json(report) -> str:
+    return json.dumps(report.as_dict()["merged_metrics"], sort_keys=True)
+
+
+class TestTrialSeeds:
+    def test_seeds_come_from_spawn_trial_index(self):
+        runner = make_runner()
+        root = RngRegistry(seed=7)
+        for spec in runner.specs():
+            assert spec.seed == root.spawn("trial", spec.index).seed
+            assert spec.seed == trial_seed(7, spec.index)
+
+    def test_seeds_independent_of_worker_count(self):
+        assert make_runner(workers=1).specs() == make_runner(workers=4).specs()
+
+    def test_seeds_are_distinct_across_trials(self):
+        seeds = [s.seed for s in make_runner(trials=32).specs()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_runner(workload="nope")
+        with pytest.raises(ConfigurationError):
+            make_runner(trials=0)
+        with pytest.raises(ConfigurationError):
+            make_runner(workers=0)
+        with pytest.raises(ConfigurationError):
+            make_runner(adversary="nope")
+        with pytest.raises(ConfigurationError):
+            make_runner(chunksize=0)
+
+
+class TestSerialParallelEquivalence:
+    def test_merged_metrics_byte_identical(self):
+        serial = make_runner(workers=1).run()
+        parallel = make_runner(workers=2).run()
+        assert metrics_json(serial) == metrics_json(parallel)
+        assert serial.merged_metrics == parallel.merged_metrics
+
+    def test_per_trial_results_identical(self):
+        serial = make_runner(workers=1).run()
+        parallel = make_runner(workers=2).run()
+        assert serial.results == parallel.results
+        assert serial.success == parallel.success
+        assert serial.disruptability_histogram == parallel.disruptability_histogram
+
+    def test_scheduling_order_irrelevant(self):
+        # chunksize=1 interleaves trials across workers; a large chunksize
+        # runs them in blocks.  Same report either way.
+        a = make_runner(workers=2, chunksize=1).run()
+        b = make_runner(workers=2, chunksize=6).run()
+        assert a.results == b.results
+        assert metrics_json(a) == metrics_json(b)
+
+    def test_aggregate_insensitive_to_result_order(self):
+        runner = make_runner(workers=1)
+        results = [run_trial(s) for s in runner.specs()]
+        assert runner.aggregate(results) == runner.aggregate(results[::-1])
+
+
+class TestPickling:
+    def test_trial_spec_round_trips(self):
+        spec = make_runner().specs()[0]
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_trial_result_round_trips(self):
+        result = run_trial(make_runner().specs()[0])
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.metrics == result.metrics
+
+    def test_round_schedule_round_trips(self):
+        msg = Message(kind="k", sender=1, payload=("x", 2))
+        schedule = RoundSchedule(
+            [
+                CompiledRound.make(
+                    {1: Transmit(0, msg)},
+                    {0: (2, 3)},
+                    RoundMeta(phase="p", extra={"slot": 4}),
+                )
+            ]
+        )
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert len(clone) == 1
+        (cr_clone,), (cr,) = clone.rounds, schedule.rounds
+        assert cr_clone.transmits == cr.transmits
+        assert cr_clone.listens == cr.listens
+        assert cr_clone.meta == cr.meta
+        assert cr_clone.listen_count == cr.listen_count
+
+    def test_spec_round_trips_into_worker(self):
+        # A pickled spec executed by a real worker process reproduces the
+        # in-process result exactly.
+        spec = make_runner().specs()[0]
+        expected = run_trial(spec)
+        with multiprocessing.get_context().Pool(1) as pool:
+            [remote] = pool.map(run_trial, [spec])
+        assert remote == expected
+
+
+class TestWorkloads:
+    def test_registry_contents(self):
+        assert {"fame", "groupkey", "gauntlet"} <= set(WORKLOADS)
+
+    def test_unknown_workload_rejected_by_run_trial(self):
+        spec = TrialSpec(workload="nope", index=0, seed=1)
+        with pytest.raises(ConfigurationError):
+            run_trial(spec)
+
+    def test_fame_trial_shape(self):
+        result = run_trial(make_runner().specs()[0])
+        detail = result.detail_dict()
+        assert detail["pairs"] == len(default_pairs(N, 4))
+        assert detail["delivered"] + len(result.failed_pairs) == detail["pairs"]
+        assert result.metrics.rounds > 0
+        assert result.success  # schedule jammer stays within t=1
+
+    def test_groupkey_trial(self):
+        spec = TrialSpec(
+            workload="groupkey", index=0, seed=trial_seed(3, 0), n=N,
+            adversary="random",
+        )
+        result = run_trial(spec)
+        detail = result.detail_dict()
+        assert detail["holders"] >= N - spec.t
+        assert result.success
+        assert result.metrics.rounds == detail["total_rounds"]
+
+    def test_gauntlet_trial_merges_all_gallery_runs(self):
+        spec = TrialSpec(
+            workload="gauntlet", index=0, seed=trial_seed(5, 0), n=N, pairs=4
+        )
+        result = run_trial(spec)
+        covers = dict(result.detail_dict()["covers"])
+        assert set(covers) == {
+            "null", "random", "reactive", "schedule", "spoofer", "sweep"
+        }
+        assert result.detail_dict()["worst_cover"] == max(covers.values())
+        assert result.success == (max(covers.values()) <= spec.t)
+        # metrics merged across six networks: at least six runs of rounds
+        assert result.metrics.rounds > 6
+
+    def test_run_trial_precomputes_cover_in_worker(self):
+        from repro.analysis.vertex_cover import min_vertex_cover
+
+        result = run_trial(make_runner().specs()[0])
+        assert result.cover is not None
+        assert result.cover == len(min_vertex_cover(result.failed_pairs))
+        assert result.disruptability() == result.cover
+
+    def test_trial_disruptability_is_cover_of_failed_pairs(self):
+        result = TrialResult(
+            index=0,
+            seed=0,
+            success=False,
+            failed_pairs=((0, 1), (0, 2), (3, 4)),
+            metrics=NetworkMetrics(),
+        )
+        assert result.disruptability() == 2
+
+
+class TestAggregation:
+    def test_whp_uninformative_at_small_trial_counts(self):
+        # 6 trials cannot resolve a 1/18 claim: report says so instead of
+        # vacuously confirming.
+        report = make_runner().run()
+        assert not report.whp_informative
+        assert report.whp_claim is None
+        assert report.as_dict()["whp"]["claim_holds"] is None
+
+    def test_whp_informative_with_synthetic_results(self):
+        runner = make_runner(trials=80, n=N)
+        results = [
+            TrialResult(
+                index=i, seed=i, success=True, failed_pairs=(),
+                metrics=NetworkMetrics(rounds=1),
+            )
+            for i in range(80)
+        ]
+        report = runner.aggregate(results)
+        assert report.whp_informative
+        assert report.whp_claim is True
+        assert report.merged_metrics.rounds == 80
+
+    def test_aggregate_preserves_metrics_subclass_counters(self):
+        # The fold is seeded with the first result's metrics so subclass
+        # counters survive (merge enumerates fields(self)).
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Extended(NetworkMetrics):
+            dropped_frames: int = 0
+
+        runner = make_runner(trials=2)
+        results = [
+            TrialResult(
+                index=i, seed=i, success=True, failed_pairs=(),
+                metrics=Extended(rounds=1, dropped_frames=i + 1),
+            )
+            for i in range(2)
+        ]
+        report = runner.aggregate(results)
+        assert report.merged_metrics.rounds == 2
+        assert report.merged_metrics.dropped_frames == 3
+
+    def test_aggregate_rejects_empty_results(self):
+        with pytest.raises(ConfigurationError):
+            make_runner().aggregate([])
+
+    def test_single_trial_merged_metrics_not_aliased(self):
+        result = TrialResult(
+            index=0, seed=0, success=True, failed_pairs=(),
+            metrics=NetworkMetrics(rounds=5),
+        )
+        report = make_runner(trials=1).aggregate([result])
+        assert report.merged_metrics == result.metrics
+        assert report.merged_metrics is not result.metrics
+        report.merged_metrics.rounds += 1  # must not touch the trial
+        assert result.metrics.rounds == 5
+
+    def test_histogram_and_wilson(self):
+        runner = make_runner(trials=4)
+        results = [
+            TrialResult(
+                index=i, seed=i, success=(i % 2 == 0),
+                failed_pairs=((0, 1),) if i < 3 else (),
+                metrics=NetworkMetrics(),
+            )
+            for i in range(4)
+        ]
+        report = runner.aggregate(results)
+        assert report.disruptability_histogram == {1: 3, 0: 1}
+        assert report.success.successes == 2
+        assert report.success.low < 0.5 < report.success.high
+
+    def test_report_dict_is_json_serialisable(self):
+        payload = make_runner(trials=2).run().as_dict()
+        parsed = json.loads(json.dumps(payload, sort_keys=True))
+        assert parsed["trials"] == 2
+        assert parsed["merged_metrics"] == asdict(
+            make_runner(trials=2).run().merged_metrics
+        )

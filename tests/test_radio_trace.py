@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.radio.actions import Listen, Transmit
 from repro.radio.messages import JAM, Message, Transmission
 from repro.radio.trace import ExecutionTrace, RoundRecord
@@ -137,3 +139,77 @@ class TestMetricsMerge:
         assert merged.rounds_by_phase == {"x": 2, "y": 1}
         # inputs untouched
         assert a.rounds == 2 and b.rounds == 3
+
+    def test_merge_is_total_over_all_fields(self):
+        """Every dataclass field participates in merge — enumerated, so a
+        counter added later cannot be silently dropped."""
+        import dataclasses
+
+        from repro.radio.metrics import NetworkMetrics
+
+        a = NetworkMetrics()
+        b = NetworkMetrics()
+        expected = {}
+        for i, f in enumerate(dataclasses.fields(NetworkMetrics)):
+            if f.name == "rounds_by_phase":
+                setattr(a, f.name, {"p": 2 * i + 1, "only-a": 1})
+                setattr(b, f.name, {"p": 5, "only-b": 2})
+                expected[f.name] = {"p": 2 * i + 6, "only-a": 1, "only-b": 2}
+            else:
+                setattr(a, f.name, 2 * i + 1)
+                setattr(b, f.name, 100 + i)
+                expected[f.name] = 2 * i + 1 + 100 + i
+        merged = a.merge(b)
+        for f in dataclasses.fields(NetworkMetrics):
+            assert getattr(merged, f.name) == expected[f.name], f.name
+
+    def test_merge_handles_unknown_future_field(self):
+        """A counter added to the dataclass after merge was written still
+        merges (the field-enumeration guarantee, probed via a subclass)."""
+        import dataclasses
+
+        from repro.radio.metrics import NetworkMetrics
+
+        @dataclasses.dataclass
+        class Extended(NetworkMetrics):
+            dropped_frames: int = 0
+
+        a = Extended(rounds=1, dropped_frames=3)
+        b = Extended(rounds=2, dropped_frames=4)
+        merged = a.merge(b)
+        assert merged.rounds == 3
+        assert merged.dropped_frames == 7
+
+    def test_merge_promotes_to_the_more_derived_operand(self):
+        """Base-with-subclass merges keep subclass counters (either
+        orientation); the absent side contributes the field default."""
+        import dataclasses
+
+        from repro.radio.metrics import NetworkMetrics
+
+        @dataclasses.dataclass
+        class Extended(NetworkMetrics):
+            dropped_frames: int = 0
+
+        base = NetworkMetrics(rounds=1)
+        ext = Extended(rounds=2, dropped_frames=3)
+        for merged in (base.merge(ext), ext.merge(base)):
+            assert isinstance(merged, Extended)
+            assert merged.rounds == 3
+            assert merged.dropped_frames == 3
+
+    def test_merge_rejects_unrelated_types(self):
+        import dataclasses
+
+        from repro.radio.metrics import NetworkMetrics
+
+        @dataclasses.dataclass
+        class A(NetworkMetrics):
+            a_only: int = 0
+
+        @dataclasses.dataclass
+        class B(NetworkMetrics):
+            b_only: int = 0
+
+        with pytest.raises(TypeError):
+            A().merge(B())

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.rng import RngRegistry, derive_seed, sample_distinct, shuffled
+import random
+
+from repro.rng import (
+    RngRegistry,
+    derive_seed,
+    draw_uniform_indices,
+    sample_distinct,
+    shuffled,
+)
 
 
 class TestDeriveSeed:
@@ -71,6 +79,33 @@ class TestRegistry:
 
     def test_seed_property(self):
         assert RngRegistry(seed=42).seed == 42
+
+
+class TestDrawUniformIndices:
+    def test_matches_choice_stream(self):
+        a, b = random.Random(11), random.Random(11)
+        seq = range(7)
+        assert draw_uniform_indices(a, 7, 20) == [b.choice(seq) for _ in range(20)]
+
+    def test_empty_range_raises_fast_path(self):
+        # Regression: n <= 0 used to spin forever in the getrandbits
+        # rejection loop (getrandbits(0) == 0 is never < n).
+        with pytest.raises(ValueError):
+            draw_uniform_indices(random.Random(1), 0, 1)
+        with pytest.raises(ValueError):
+            draw_uniform_indices(random.Random(1), -3, 1)
+
+    def test_empty_range_raises_fallback_path(self):
+        class ExoticRandom(random.Random):
+            pass
+
+        with pytest.raises(ValueError):
+            draw_uniform_indices(ExoticRandom(1), 0, 1)
+
+    def test_zero_count_still_validates_range(self):
+        with pytest.raises(ValueError):
+            draw_uniform_indices(random.Random(1), 0, 0)
+        assert draw_uniform_indices(random.Random(1), 4, 0) == []
 
 
 class TestHelpers:
