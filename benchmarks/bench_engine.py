@@ -85,7 +85,12 @@ def bench_radio(n: int, *, sparse: bool, min_seconds: float) -> float:
     """Rounds/sec for the representative round in one submission style."""
     base = _round_actions(n)
     if sparse:
-        params = ProtocolParameters(validate_actions=False).validate()
+        # The lean fast-path configuration: per-round validation and
+        # payload metering both gated off (each is id-cache-free work the
+        # trusted benchmark driver does not need).
+        params = ProtocolParameters(
+            validate_actions=False, meter_payloads=False
+        ).validate()
         actions = base
         keep_trace = False
     else:

@@ -11,6 +11,15 @@ schedule-compiled pipeline against the per-round reference implementation
 and regenerate ``benchmarks/BENCH_feedback.json``; ``--quick`` is the CI
 smoke mode (small n, non-zero exit if the n-max speedup drops below
 ``--min-speedup``).
+
+The suite also measures the digest/delta wire encoding of the parallel
+merge (``delta_frames=True``, the default in the library) against the
+full-frame reference on a slots-heavy workload where knowledge frames
+actually grow: seeded delta==full equivalence of the ``D`` maps and round
+counts is asserted before any timing, then rounds/sec and per-invocation
+payload units are compared.  ``--delta`` runs only that comparison (the CI
+delta smoke), failing if the speedup drops below ``--min-delta-speedup``
+or the delta path stops shrinking payloads.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from repro.analysis.complexity import normalized_cost
 from repro.feedback.parallel import run_parallel_feedback
 from repro.feedback.protocol import run_feedback
 from repro.feedback.witness import WitnessAssignment
-from repro.params import log2n
+from repro.params import ProtocolParameters, log2n
 from repro.rng import RngRegistry
 
 from bench_common import make_network, report
@@ -163,6 +172,45 @@ def _parallel_workload(n: int, t: int, seed: int, compiled: bool):
     return net.metrics.rounds, out
 
 
+_DELTA_PARAMS = ProtocolParameters(validate_actions=False).validate()
+
+
+def _delta_workload(n: int, t: int, seed: int, delta: bool):
+    """A slots-heavy parallel merge where knowledge frames actually grow.
+
+    32 witness sets: frames reach 32 slots at the root of the merge tree
+    and in the final dissemination to ~n listeners, which is where the
+    full-frame encoding pays O(frame) per listener per decode and the
+    delta encoding pays one in-place application plus O(1) skips.  Action
+    validation is gated off (the PR 1 benchmark fast path, as in
+    bench_engine) so the measurement concentrates on the merge itself.
+    Returns ``(rounds, D-map, payload_units)``.
+    """
+    block = 2 * t
+    slots = 32
+    channels = max(2 * t * t, (slots // 2) * block)
+    net = make_network(
+        n,
+        channels,
+        t,
+        adversary=RandomJammer(random.Random(seed)),
+        params=_DELTA_PARAMS,
+    )
+    witness_sets = [
+        tuple(range(s * block, (s + 1) * block)) for s in range(slots)
+    ]
+    flags = {w: (s % 4 != 1) for s, ws in enumerate(witness_sets) for w in ws}
+    out = run_parallel_feedback(
+        net,
+        witness_sets,
+        flags,
+        list(range(n)),
+        RngRegistry(seed=seed),
+        delta_frames=delta,
+    )
+    return net.metrics.rounds, out, net.metrics.payload_units
+
+
 def _rounds_per_sec(workload, n, t, *, compiled, min_seconds):
     """Wall-clock rounds/sec of repeated full invocations."""
     start = time.perf_counter()
@@ -175,6 +223,48 @@ def _rounds_per_sec(workload, n, t, *, compiled, min_seconds):
         elapsed = time.perf_counter() - start
         if elapsed >= min_seconds:
             return rounds / elapsed, rounds // invocations
+
+
+def _delta_rounds_per_sec(n, t, *, delta, min_seconds):
+    """Like :func:`_rounds_per_sec` for the encoding-comparison workload."""
+    start = time.perf_counter()
+    rounds = 0
+    invocations = 0
+    while True:
+        done, _, _ = _delta_workload(n, t, seed=invocations, delta=delta)
+        rounds += done
+        invocations += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return rounds / elapsed
+
+
+def run_delta_suite(sizes: list[int], t: int, min_seconds: float) -> dict:
+    """Delta vs full-frame encoding: equivalence first, then throughput."""
+    results: dict = {}
+    for n in sizes:
+        # Equivalence gate: identical seeded D maps and round counts (the
+        # payload counter is the one thing the encoding changes).
+        r_full, out_full, units_full = _delta_workload(n, t, 0, delta=False)
+        r_delta, out_delta, units_delta = _delta_workload(n, t, 0, delta=True)
+        assert r_full == r_delta and out_full == out_delta, (
+            f"delta/full-frame divergence at n={n}"
+        )
+        assert units_delta < units_full, (
+            f"delta frames stopped shrinking payloads at n={n} "
+            f"({units_delta} vs {units_full})"
+        )
+        full = _delta_rounds_per_sec(n, t, delta=False, min_seconds=min_seconds)
+        fast = _delta_rounds_per_sec(n, t, delta=True, min_seconds=min_seconds)
+        results[str(n)] = {
+            "full_frames": round(full, 1),
+            "delta_frames": round(fast, 1),
+            "speedup": round(fast / full, 2),
+            "payload_units_full": units_full,
+            "payload_units_delta": units_delta,
+            "payload_reduction": round(units_full / units_delta, 2),
+        }
+    return results
 
 
 def run_pipeline_suite(sizes: list[int], t: int, min_seconds: float) -> dict:
@@ -234,6 +324,19 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) if the largest-n serial speedup drops below this",
     )
     parser.add_argument(
+        "--delta",
+        action="store_true",
+        help="run only the delta-vs-full-frame encoding comparison "
+        "(equivalence asserted before timing)",
+    )
+    parser.add_argument(
+        "--min-delta-speedup",
+        type=float,
+        default=1.2,
+        help="fail (exit 1) if the largest-n delta-frame speedup drops "
+        "below this",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=Path(__file__).parent / "BENCH_feedback.json",
@@ -244,17 +347,30 @@ def main(argv: list[str] | None = None) -> int:
     t = 3
     sizes = [256] if args.quick else [256, 1024]
     min_seconds = 0.3 if args.quick else 1.5
-    results = run_pipeline_suite(sizes, t, min_seconds)
+    n_max = str(max(sizes))
 
-    for section, rows in results.items():
-        print(f"\n=== {section} ===")
-        for n, row in rows.items():
+    # The plain --quick smoke keeps its historical scope (the compiled
+    # pipeline); the encoding comparison runs under --delta (its own CI
+    # smoke) and in full baseline regenerations.
+    delta_results = None
+    if args.delta or not args.quick:
+        delta_results = run_delta_suite(sizes, t, min_seconds)
+    results = None
+    if not args.delta:
+        results = run_pipeline_suite(sizes, t, min_seconds)
+        for section, rows in results.items():
+            print(f"\n=== {section} ===")
+            for n, row in rows.items():
+                cells = "  ".join(f"{k}={v}" for k, v in row.items())
+                print(f"  n={n:>5}  {cells}")
+
+    if delta_results is not None:
+        print("\n=== parallel_feedback_delta_rounds_per_sec ===")
+        for n, row in delta_results.items():
             cells = "  ".join(f"{k}={v}" for k, v in row.items())
             print(f"  n={n:>5}  {cells}")
 
-    n_max = str(max(sizes))
-    speedup = results["serial_feedback_rounds_per_sec"][n_max]["speedup"]
-    if not args.quick:
+    if results is not None and not args.quick:
         payload = {
             "generated_by": "benchmarks/bench_feedback.py",
             "workload": {
@@ -263,24 +379,50 @@ def main(argv: list[str] | None = None) -> int:
                 "RandomJammer, keep_trace off (see _serial_workload)",
                 "parallel": "4 witness sets of 2t, C=2t^2 channels, "
                 "RandomJammer (see _parallel_workload)",
-                "equivalence": "seeded compiled vs per-round outputs "
-                "asserted identical before timing",
+                "delta": "32 witness sets of 2t (frames grow to 32 slots), "
+                "C=32t channels, RandomJammer, validation gated off; delta "
+                "vs full-frame wire encoding, both compiled "
+                "(see _delta_workload)",
+                "equivalence": "seeded compiled vs per-round outputs, and "
+                "seeded delta vs full-frame D maps/rounds/payload "
+                "reduction, asserted identical before timing",
             },
             "python": platform.python_version(),
-            "results": results,
+            "results": {
+                **results,
+                "parallel_feedback_delta_rounds_per_sec": delta_results,
+            },
         }
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {args.json}")
 
-    if speedup < args.min_speedup:
-        print(
-            f"FAIL: serial feedback speedup at n={n_max} is {speedup}x "
-            f"(< {args.min_speedup}x floor)",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"\nOK: serial feedback speedup at n={n_max} is {speedup}x")
-    return 0
+    failed = False
+    if delta_results is not None:
+        delta_speedup = delta_results[n_max]["speedup"]
+        if delta_speedup < args.min_delta_speedup:
+            print(
+                f"FAIL: delta-frame speedup at n={n_max} is {delta_speedup}x "
+                f"(< {args.min_delta_speedup}x floor)",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(
+                f"\nOK: delta-frame speedup at n={n_max} is {delta_speedup}x"
+            )
+
+    if results is not None:
+        speedup = results["serial_feedback_rounds_per_sec"][n_max]["speedup"]
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: serial feedback speedup at n={n_max} is {speedup}x "
+                f"(< {args.min_speedup}x floor)",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"OK: serial feedback speedup at n={n_max} is {speedup}x")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

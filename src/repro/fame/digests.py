@@ -30,7 +30,7 @@ the gossip epochs and the signature-sized f-AME run cost radio rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import ProtocolViolation
 from ..radio.actions import Action, Listen, Transmit
@@ -45,6 +45,90 @@ GOSSIP_KIND = "ame-gossip"
 """Frame kind used by gossip-phase broadcasts."""
 
 HashFn = Callable[..., bytes]
+
+SLOT_DIGEST_SIZE = 32
+"""Byte length of slot-set digests (matches the H1 output width)."""
+
+_SLOT_DOMAIN = "slot-digest"
+
+
+def _slot_term(slot: int, hash1: HashFn) -> int:
+    return int.from_bytes(hash1(_SLOT_DOMAIN, slot), "big")
+
+
+class SlotSetDigest:
+    """Incremental, order-independent digest over a set of slot indices.
+
+    The digest of a slot set is the XOR of one ``H1`` term per member, so
+    it can be maintained *incrementally*: adding a batch of new slots costs
+    O(batch) hash evaluations regardless of how many slots are already
+    digested, and the digest of a disjoint union is the XOR of the parts'
+    digests (:func:`combine_digests`).  This is what lets the parallel
+    feedback merge tag every knowledge frame with a digest of the frame's
+    full slot coverage without ever re-hashing the accumulated set: leaf
+    groups hash their single slot once, merged groups combine in O(1).
+
+    Duplicate slots are ignored (a set, not a multiset), which keeps the
+    invariant *apply-then-digest equals digest-of-merged*: feeding any
+    sequence of possibly-overlapping slot batches through :meth:`update`
+    yields exactly ``slot_set_digest(union of the batches)`` —
+    ``tests/test_schedule_properties.py`` pins this property.
+    """
+
+    __slots__ = ("_acc", "_slots", "_hash1")
+
+    def __init__(
+        self, slots: "Iterable[int]" = (), *, hash1: HashFn | None = None
+    ) -> None:
+        from ..crypto.hashes import h1 as default_h1
+
+        self._hash1 = hash1 or default_h1
+        self._acc = 0
+        self._slots: set[int] = set()
+        self.update(slots)
+
+    def update(self, slots: "Iterable[int]") -> "SlotSetDigest":
+        """Fold new slots into the digest (already-present slots are
+        no-ops); returns ``self`` for chaining."""
+        for slot in slots:
+            if slot not in self._slots:
+                self._slots.add(slot)
+                self._acc ^= _slot_term(slot, self._hash1)
+        return self
+
+    @property
+    def value(self) -> bytes:
+        """The current digest."""
+        return self._acc.to_bytes(SLOT_DIGEST_SIZE, "big")
+
+    @property
+    def slots(self) -> frozenset[int]:
+        """The slot set digested so far."""
+        return frozenset(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+
+def slot_set_digest(
+    slots: "Iterable[int]", *, hash1: HashFn | None = None
+) -> bytes:
+    """One-shot digest of a slot set (see :class:`SlotSetDigest`)."""
+    return SlotSetDigest(slots, hash1=hash1).value
+
+
+def combine_digests(*digests: bytes) -> bytes:
+    """Digest of a *disjoint* union, from the parts' digests, in O(parts).
+
+    XOR-combining is only union-compatible when the underlying slot sets
+    are pairwise disjoint (a shared slot's term would cancel); the parallel
+    merge tree satisfies this by construction — each slot lives in exactly
+    one group per level.
+    """
+    acc = 0
+    for digest in digests:
+        acc ^= int.from_bytes(digest, "big")
+    return acc.to_bytes(SLOT_DIGEST_SIZE, "big")
 
 
 def message_sequence(

@@ -252,7 +252,9 @@ class FameProtocol:
                 flags[w] = frame is not None and frame.kind == AME_DATA_KIND
         participants = list(range(self.network.n))
         # dense_actions replays the legacy engine end to end, so it also
-        # pins the feedback routines to their per-round reference path.
+        # pins the feedback routines to their per-round reference path —
+        # including the legacy full-frame wire encoding for the parallel
+        # merge (delta frames postdate the legacy engine).
         if self.config.parallel_feedback:
             return run_parallel_feedback(
                 self.network,
@@ -262,6 +264,7 @@ class FameProtocol:
                 self.rng,
                 phase="feedback-parallel",
                 compiled=not self.dense_actions,
+                delta_frames=not self.dense_actions,
             )
         return run_feedback(
             self.network,

@@ -39,13 +39,23 @@ decode rule.  Every probabilistic event in Lemma 5's Chernoff argument —
 probability ``>= (C-t)/C``" — therefore has exactly the same distribution,
 and seeded runs of the compiled and per-round paths are byte-identical
 (enforced by ``tests/test_feedback_pipeline.py``).
+
+Wire encoding
+-------------
+The parallel merge additionally ships its knowledge frames, by default, in
+the digest/delta encoding of :class:`~repro.radio.messages.DeltaFrame`
+(``delta_frames=False`` restores the historical full-frame payloads);
+``tests/test_feedback_delta.py`` is the differential gauntlet proving the
+two encodings indistinguishable — identical ``D`` maps, metrics, and
+semantically identical traces — under the whole adversary gallery.
 """
 
 from .witness import WitnessAssignment, rank
 from .protocol import run_feedback
-from .parallel import run_parallel_feedback
+from .parallel import DeltaApplyState, run_parallel_feedback
 
 __all__ = [
+    "DeltaApplyState",
     "WitnessAssignment",
     "rank",
     "run_feedback",

@@ -19,28 +19,195 @@ channels, which exactly fits — so every listener retains success probability
 and the ``O(log^2 n)`` bound survives.  Each witness group must therefore
 hold at least ``2t`` members (one honest broadcaster per block channel,
 which is what keeps spoofing impossible).
+
+Wire format
+-----------
+Knowledge frames come in two encodings:
+
+* the historical **full frame** (``MERGE_KIND``): the whole ``slot -> flag``
+  map, re-applied by every listener on every decode;
+* the default **digest/delta frame**
+  (:class:`~repro.radio.messages.DeltaFrame`, kind
+  :data:`~repro.radio.messages.DELTA_KIND`, mirroring the Section 5.6
+  digest pipeline): a digest of the frame's slot coverage plus only the
+  true-flag slots — the only entries that can ever enter an output set
+  ``D``.  Receivers keep per-listener applied-digest state
+  (:class:`DeltaApplyState`): a frame whose digest was already applied is
+  skipped in O(1), a fresh frame is verified against its digest and its
+  delta applied in place, and a digest mismatch falls back to the frame's
+  embedded full-frame items (the resync escape hatch) or drops the frame.
+  ``delta_frames=False`` keeps the full-frame reference path; seeded runs
+  of the two encodings produce identical ``D`` maps, radio metrics (bar
+  the payload-size counter the delta shrinks), and semantically identical
+  traces under every adversary — ``tests/test_feedback_delta.py`` is the
+  differential gauntlet enforcing that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..errors import ConfigurationError
 from ..radio.actions import Action, Listen, Transmit
-from ..radio.messages import Message
+from ..radio.messages import DELTA_KIND, DeltaFrame, Message
 from ..radio.network import CompiledRound, RadioNetwork, RoundMeta, RoundSchedule
 from ..rng import RngRegistry, draw_uniform_indices
 
 MERGE_KIND = "feedback-merge"
 
+_UNRESOLVED = object()  # sentinel distinguishing "not seen" from "invalid"
+
 
 @dataclass
 class _Group:
-    """A witness group in the merge tree with its accumulated knowledge."""
+    """A witness group in the merge tree with its accumulated knowledge.
+
+    ``true_slots`` and ``digest`` are the delta-encoding view of
+    ``knowledge``: the true-flag slots in ascending order (the merge tree
+    pairs adjacent groups, so concatenation preserves order) and the
+    incremental slot-set digest over them.  Both are maintained in O(1)
+    per merge via :func:`~repro.fame.digests.combine_digests`; full-frame
+    runs leave them empty.
+    """
 
     members: tuple[int, ...]
     knowledge: dict[int, bool]  # slot -> flag
+    true_slots: tuple[int, ...] = ()
+    digest: bytes = b""
+
+
+class DeltaApplyState:
+    """Receiver-side bookkeeping for digest/delta knowledge frames.
+
+    One instance lives for one :func:`run_parallel_feedback` invocation and
+    tracks, per listener, which frame digests have already been applied —
+    the *applied-epoch* set that turns the O(frame) per-decode
+    ``dict.update`` of the full-frame encoding into an O(1) skip after the
+    first application.  Frame verification (hashing the delta and checking
+    it against the frame's digest) is cached per frame value, so it happens
+    once per transfer, not once per listener or per repetition.
+
+    Counters (all per-invocation):
+
+    ``applications``
+        First-time applications of a frame to a listener's knowledge.
+    ``skips``
+        O(1) already-applied short-circuits.
+    ``digest_mismatches``
+        Distinct frames whose delta failed digest verification.
+    ``resyncs``
+        Mismatched frames recovered through their embedded full-frame
+        payload (the escape hatch); a mismatch without a resync payload
+        drops the frame.
+    """
+
+    def __init__(self, hash1: Callable[..., bytes] | None = None) -> None:
+        from ..fame.digests import slot_set_digest
+
+        self._digest = lambda slots: slot_set_digest(slots, hash1=hash1)
+        # One state serves one invocation: leaf/merge digests are
+        # deterministic functions of the slot layout, so a reused state
+        # would silently skip a second run's frames as already applied.
+        # run_parallel_feedback claims the state via _claim().
+        self._claimed = False
+        self.applied: dict[int, set] = {}
+        # Verification cache keyed by frame identity: frames are shared
+        # objects (one per transfer, referenced by the live schedule), so
+        # the id lookup avoids rehashing the frame's slot tuple on every
+        # decode; the frame itself is kept in the value to pin the id.
+        self._verified: dict[int, tuple[DeltaFrame, tuple | None]] = {}
+        self.applications = 0
+        self.skips = 0
+        self.digest_mismatches = 0
+        self.resyncs = 0
+
+    def _claim(self) -> None:
+        """Bind this state to one invocation (reuse is a caller bug)."""
+        if self._claimed:
+            raise ConfigurationError(
+                "DeltaApplyState is single-use: a second invocation would "
+                "skip frames whose digests the first already applied; "
+                "pass a fresh state per run_parallel_feedback call"
+            )
+        self._claimed = True
+
+    def resolve(self, frame: DeltaFrame) -> tuple | None:
+        """Classify a frame once: ``(applied_key, items)`` or ``None``.
+
+        A *verified* delta's applied key is its digest (which verification
+        just proved identifies the content) and its items are the cached
+        ``{slot: True}`` map; a digest-mismatch frame with a resync payload
+        is keyed by the whole frame value — its digest is exactly what
+        failed, so two corrupted frames sharing a bogus digest must not
+        skip each other — with the embedded full items; an unverifiable
+        frame (mismatch, no resync items) classifies as ``None`` and is
+        dropped without marking anything applied, so a later well-formed
+        frame with the same digest still lands.
+        """
+        try:
+            return self._verified[id(frame)][1]
+        except KeyError:
+            pass
+        if self._digest(frame.true_slots) == frame.digest:
+            verdict: tuple | None = (
+                frame.digest,
+                {slot: True for slot in frame.true_slots},
+            )
+        else:
+            self.digest_mismatches += 1
+            if frame.full is not None:
+                self.resyncs += 1
+                verdict = (frame, dict(frame.full))
+            else:
+                verdict = None
+        self._verified[id(frame)] = (frame, verdict)
+        return verdict
+
+    def fold(
+        self,
+        nodes: Sequence[int],
+        frame: DeltaFrame,
+        per_node_knowledge: dict[int, dict[int, bool]],
+    ) -> None:
+        """Fold one decoded frame into every listener of its channel.
+
+        The hot path of the delta encoding: verification and the applied
+        key are resolved once per decode, each already-applied listener
+        costs one set lookup, and a first-time listener pays a single
+        C-level ``dict.update`` of the cached items.
+        """
+        verdict = self.resolve(frame)
+        if verdict is None:
+            return
+        key, items = verdict
+        applied = self.applied
+        skips = 0
+        applications = 0
+        for node in nodes:
+            seen = applied.get(node)
+            if seen is None:
+                seen = applied[node] = set()
+            elif key in seen:
+                skips += 1
+                continue
+            per_node_knowledge[node].update(items)
+            seen.add(key)
+            applications += 1
+        self.skips += skips
+        self.applications += applications
+
+    def apply(
+        self, node: int, frame: DeltaFrame, knowledge: dict[int, bool]
+    ) -> bool:
+        """Fold ``frame`` into ``node``'s knowledge; True iff it applied.
+
+        Single-listener form of :meth:`fold` (same verification, applied
+        keys, and counters), for callers holding a bare knowledge dict.
+        """
+        before = self.applications
+        self.fold((node,), frame, {node: knowledge})
+        return self.applications > before
 
 
 def _merge_frame(sender: int, tag: object, knowledge: Mapping[int, bool]) -> Message:
@@ -52,9 +219,71 @@ def _merge_frame(sender: int, tag: object, knowledge: Mapping[int, bool]) -> Mes
     )
 
 
+def _delta_payload(group: _Group, tag: object) -> DeltaFrame:
+    """The digest/delta encoding of ``group``'s knowledge for one transfer.
+
+    Built once per transfer and shared by every broadcaster of the block
+    across every repetition — the full-frame path re-serializes the whole
+    map per broadcaster instead.
+    """
+    return DeltaFrame(tag=tag, digest=group.digest, true_slots=group.true_slots)
+
+
+def _build_frame(
+    sender: int,
+    tag: object,
+    knowledge: Mapping[int, bool],
+    delta: DeltaFrame | None,
+) -> Message:
+    """One broadcaster's knowledge frame in the transfer's encoding."""
+    if delta is not None:
+        return Message(kind=DELTA_KIND, sender=sender, payload=delta)
+    return _merge_frame(sender, tag, knowledge)
+
+
+def _fold_channel(
+    received: Message,
+    tag: object,
+    listeners: Sequence[int],
+    per_node_knowledge: dict[int, dict[int, bool]],
+    delta_state: DeltaApplyState | None,
+) -> None:
+    """Fold one decoded channel's frame into its listeners' knowledge.
+
+    The one receive path shared by the compiled and per-round loops, for
+    both encodings: full frames ``dict.update`` every listener, delta
+    frames go through :meth:`DeltaApplyState.apply` (O(1) when already
+    applied).
+    """
+    if delta_state is not None:
+        if received.kind != DELTA_KIND:
+            return
+        frame = received.payload
+        if not isinstance(frame, DeltaFrame) or frame.tag != tag:
+            return
+        delta_state.fold(listeners, frame, per_node_knowledge)
+        return
+    if received.kind != MERGE_KIND:
+        return
+    recv_tag, items = received.payload
+    if recv_tag != tag:
+        return
+    merged = dict(items)
+    for node in listeners:
+        per_node_knowledge[node].update(merged)
+
+
 def _run_transfer_rounds(
     network: RadioNetwork,
-    transfers: Sequence[tuple[Sequence[int], Sequence[int], Sequence[int], Mapping[int, bool]]],
+    transfers: Sequence[
+        tuple[
+            Sequence[int],
+            Sequence[int],
+            Sequence[int],
+            Mapping[int, bool],
+            DeltaFrame | None,
+        ]
+    ],
     per_node_knowledge: dict[int, dict[int, bool]],
     tag: object,
     repetitions: int,
@@ -62,14 +291,18 @@ def _run_transfer_rounds(
     phase: str,
     rng_namespace: object,
     compiled: bool = True,
+    delta_state: DeltaApplyState | None = None,
 ) -> None:
     """Run ``repetitions`` rounds of simultaneous directed transfers.
 
-    Each transfer is ``(broadcasters, listeners, block_channels, knowledge)``;
-    blocks must be channel-disjoint (validated).  Every block channel is
-    occupied by an honest broadcaster each round, so adversarial frames can
-    only collide, never be decoded.  Listeners hop uniformly within their
-    block and merge any knowledge frame with a matching tag.
+    Each transfer is ``(broadcasters, listeners, block_channels, knowledge,
+    delta_payload)``; blocks must be channel-disjoint (validated).  Every
+    block channel is occupied by an honest broadcaster each round, so
+    adversarial frames can only collide, never be decoded.  Listeners hop
+    uniformly within their block and merge any knowledge frame with a
+    matching tag.  ``delta_payload`` is the prebuilt
+    :class:`~repro.radio.messages.DeltaFrame` when the invocation uses the
+    delta encoding (``delta_state`` set), ``None`` on the full-frame path.
 
     The repetition loop is oblivious, so the default path compiles it into
     one :class:`RoundSchedule`: the broadcaster assignment is a static
@@ -80,7 +313,7 @@ def _run_transfer_rounds(
     historical per-round loop; the two are byte-identical on seeded runs.
     """
     used_channels: set[int] = set()
-    for broadcasters, _, block, _ in transfers:
+    for broadcasters, _, block, _, _ in transfers:
         overlap = used_channels & set(block)
         if overlap:
             raise ConfigurationError(
@@ -103,16 +336,18 @@ def _run_transfer_rounds(
             rng,
             phase,
             rng_namespace,
+            delta_state,
         )
         return
 
     meta = RoundMeta(phase=phase, extra={"tag": tag})
     template: dict[int, Transmit] = {}
     hop_choices: list[tuple[int, list[int]]] = []  # (listener, per-rep hops)
-    for broadcasters, listeners, block, knowledge in transfers:
+    for broadcasters, listeners, block, knowledge, delta in transfers:
         for idx, channel in enumerate(block):
             template[broadcasters[idx]] = Transmit(
-                channel, _merge_frame(broadcasters[idx], tag, knowledge)
+                channel,
+                _build_frame(broadcasters[idx], tag, knowledge, delta),
             )
         # Draw each listener's whole hop sequence up front (choice-stream
         # compatible; see draw_uniform_indices).
@@ -151,36 +386,93 @@ def _run_transfer_rounds(
 
     heard_per_round = network.execute_schedule(RoundSchedule(compiled_rounds))
 
+    if delta_state is None:
+        for by_channel, heard in zip(fanouts, heard_per_round):
+            for channel, received in heard.items():
+                _fold_channel(
+                    received,
+                    tag,
+                    by_channel[channel],
+                    per_node_knowledge,
+                    delta_state,
+                )
+        return
+
+    # Delta fold, specialised for the compiled path: the same per-frame
+    # semantics as DeltaApplyState.fold (via resolve() and the shared
+    # applied-key state), inlined because this loop runs once per decoded
+    # channel-round.  A decoded message on a transfer channel is the
+    # *same* template object every repetition, so frame classification
+    # (kind/tag checks plus digest verification) resolves once per
+    # distinct message, each frame keeps a local set of listeners it
+    # already reached (one membership test per skip — the by-far common
+    # case), and only a first-time listener touches the global per-node
+    # applied-key state.
+    applied = delta_state.applied
+    resolved: dict[int, tuple | None] = {}
     for by_channel, heard in zip(fanouts, heard_per_round):
         for channel, received in heard.items():
-            if received.kind != MERGE_KIND:
+            entry = resolved.get(id(received), _UNRESOLVED)
+            if entry is _UNRESOLVED:
+                entry = None
+                if received.kind == DELTA_KIND:
+                    frame = received.payload
+                    if isinstance(frame, DeltaFrame) and frame.tag == tag:
+                        verdict = delta_state.resolve(frame)
+                        if verdict is not None:
+                            entry = (*verdict, set())
+                resolved[id(received)] = entry
+            if entry is None:
                 continue
-            recv_tag, items = received.payload
-            if recv_tag != tag:
-                continue
-            merged = dict(items)
+            key, items, reached = entry
+            skips = 0
+            applications = 0
             for node in by_channel[channel]:
-                per_node_knowledge[node].update(merged)
+                if node in reached:
+                    skips += 1
+                    continue
+                reached.add(node)
+                seen = applied.get(node)
+                if seen is None:
+                    seen = applied[node] = set()
+                elif key in seen:
+                    skips += 1
+                    continue
+                per_node_knowledge[node].update(items)
+                seen.add(key)
+                applications += 1
+            delta_state.skips += skips
+            delta_state.applications += applications
 
 
 def _transfer_rounds_per_round(
     network: RadioNetwork,
-    transfers: Sequence[tuple[Sequence[int], Sequence[int], Sequence[int], Mapping[int, bool]]],
+    transfers: Sequence[
+        tuple[
+            Sequence[int],
+            Sequence[int],
+            Sequence[int],
+            Mapping[int, bool],
+            DeltaFrame | None,
+        ]
+    ],
     per_node_knowledge: dict[int, dict[int, bool]],
     tag: object,
     repetitions: int,
     rng: RngRegistry,
     phase: str,
     rng_namespace: object,
+    delta_state: DeltaApplyState | None = None,
 ) -> None:
     """The historical reference loop — the equivalence oracle for the
     compiled path (blocks already validated by the caller)."""
     for _rep in range(repetitions):
         actions: dict[int, Action] = {}
-        for broadcasters, listeners, block, knowledge in transfers:
+        for broadcasters, listeners, block, knowledge, delta in transfers:
             for idx, channel in enumerate(block):
                 actions[broadcasters[idx]] = Transmit(
-                    channel, _merge_frame(broadcasters[idx], tag, knowledge)
+                    channel,
+                    _build_frame(broadcasters[idx], tag, knowledge, delta),
                 )
             for node in listeners:
                 stream = rng.stream(rng_namespace, "merge-listen", node)
@@ -189,10 +481,10 @@ def _transfer_rounds_per_round(
             actions, RoundMeta(phase=phase, extra={"tag": tag})
         )
         for node, received in results.items():
-            if received is not None and received.kind == MERGE_KIND:
-                recv_tag, items = received.payload
-                if recv_tag == tag:
-                    per_node_knowledge[node].update(dict(items))
+            if received is not None:
+                _fold_channel(
+                    received, tag, (node,), per_node_knowledge, delta_state
+                )
 
 
 def run_parallel_feedback(
@@ -206,6 +498,8 @@ def run_parallel_feedback(
     phase: str = "feedback-parallel",
     rng_namespace: object = "feedback-parallel",
     compiled: bool = True,
+    delta_frames: bool = True,
+    delta_state: DeltaApplyState | None = None,
 ) -> dict[int, set[int]]:
     """Merge per-slot flags through a parallel-prefix tree; return each
     participant's ``D`` (slot indices whose flag is true).
@@ -215,12 +509,30 @@ def run_parallel_feedback(
     least ``2t`` members, and the network must offer enough channels for
     the first level's simultaneous blocks (guaranteed by ``C >= 2t^2``
     when ``len(witness_sets) <= C/t``).
+
+    ``delta_frames`` selects the wire encoding (see the module docstring):
+    the default ships digest/delta frames and tracks per-listener applied
+    digests; ``False`` keeps the historical full-frame path, which is the
+    reference the differential gauntlet compares against.  A caller may
+    pass its own (fresh) :class:`DeltaApplyState` to inspect the
+    apply/skip/resync counters afterwards; states are single-use — reuse
+    across invocations raises, because repeated digests would be skipped
+    as already applied — and by default one is created per invocation.
     """
     t = network.t
     block_size = max(1, 2 * t)
     slots = len(witness_sets)
     if slots == 0:
         return {node: set() for node in participants}
+
+    if delta_frames:
+        from ..fame.digests import combine_digests, slot_set_digest
+
+        if delta_state is None:
+            delta_state = DeltaApplyState()
+        delta_state._claim()
+    else:
+        delta_state = None
 
     groups: list[_Group] = []
     per_node_knowledge: dict[int, dict[int, bool]] = {}
@@ -237,7 +549,11 @@ def run_parallel_feedback(
                 f"witness set {r} missing or inconsistent flags"
             )
         flag = next(iter(flag_values))
-        groups.append(_Group(members=members, knowledge={r: flag}))
+        group = _Group(members=members, knowledge={r: flag})
+        if delta_frames:
+            group.true_slots = (r,) if flag else ()
+            group.digest = slot_set_digest(group.true_slots)
+        groups.append(group)
         for w in members:
             per_node_knowledge[w] = {r: flag}
     for node in participants:
@@ -265,6 +581,7 @@ def run_parallel_feedback(
         # Two directed sub-phases; within each, all pairs run simultaneously
         # on disjoint channel blocks.
         for direction in (0, 1):
+            tag = (level, direction)
             transfers = []
             for pair_idx, (left, right) in enumerate(pairs):
                 src, dst = (left, right) if direction == 0 else (right, left)
@@ -272,29 +589,41 @@ def run_parallel_feedback(
                     range(pair_idx * block_size, (pair_idx + 1) * block_size)
                 )
                 transfers.append(
-                    (src.members, dst.members, block, src.knowledge)
+                    (
+                        src.members,
+                        dst.members,
+                        block,
+                        src.knowledge,
+                        _delta_payload(src, tag) if delta_frames else None,
+                    )
                 )
             _run_transfer_rounds(
                 network,
                 transfers,
                 per_node_knowledge,
-                tag=(level, direction),
+                tag=tag,
                 repetitions=repetitions,
                 rng=rng,
                 phase=phase,
                 rng_namespace=(rng_namespace, level, direction),
                 compiled=compiled,
+                delta_state=delta_state,
             )
         next_groups: list[_Group] = []
         for left, right in pairs:
             merged_knowledge = dict(left.knowledge)
             merged_knowledge.update(right.knowledge)
-            next_groups.append(
-                _Group(
-                    members=left.members + right.members,
-                    knowledge=merged_knowledge,
-                )
+            merged = _Group(
+                members=left.members + right.members,
+                knowledge=merged_knowledge,
             )
+            if delta_frames:
+                # Adjacent pairs cover adjacent slot ranges, so the
+                # concatenation stays sorted and the disjoint-union digest
+                # combines in O(1).
+                merged.true_slots = left.true_slots + right.true_slots
+                merged.digest = combine_digests(left.digest, right.digest)
+            next_groups.append(merged)
         groups = next_groups + carry
         level += 1
 
@@ -303,16 +632,26 @@ def run_parallel_feedback(
     block = tuple(range(block_size))
     outsiders = [p for p in participants if p not in set(root.members)]
     if outsiders:
+        tag = ("final", level)
         _run_transfer_rounds(
             network,
-            [(root.members, outsiders, block, root.knowledge)],
+            [
+                (
+                    root.members,
+                    outsiders,
+                    block,
+                    root.knowledge,
+                    _delta_payload(root, tag) if delta_frames else None,
+                )
+            ],
             per_node_knowledge,
-            tag=("final", level),
+            tag=tag,
             repetitions=repetitions,
             rng=rng,
             phase=phase,
             rng_namespace=(rng_namespace, "final"),
             compiled=compiled,
+            delta_state=delta_state,
         )
 
     return {

@@ -179,7 +179,10 @@ def _run_feedback_per_round(
             actions: dict[int, Action] = {}
             for node in participants:
                 if node in witness_set:
-                    channel = channels[witnesses.index(node)]
+                    # Rank-map reuse: the precomputed per-slot map replaces
+                    # the historical witnesses.index scan (same value, no
+                    # O(|witnesses|) lookup in the inner loop).
+                    channel = channels[assignment.rank_of(slot, node)]
                     frame = (
                         feedback_true(node, slot)
                         if slot_flag

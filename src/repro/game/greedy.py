@@ -27,7 +27,7 @@ Two implementations share one selection routine:
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -172,7 +172,11 @@ class GreedyPools:
         self._incident[w].discard(edge)
         if edge in self._p2_set:
             self._p2_set.remove(edge)
-            self._p2.remove((w, v))
+            # Bisect-backed removal: the pool is sorted by (dest, source),
+            # so the exact entry is located in O(log |P2|) even inside a
+            # run of equal-destination entries (where list.remove would
+            # scan the whole duplicate-priority run before shifting).
+            self._p2.pop(bisect_left(self._p2, (w, v)))
         self._out_degree[v] -= 1
         if self._out_degree[v] == 0 and v in self._p1_set:
             self._drop_from_p1(v)
@@ -180,7 +184,7 @@ class GreedyPools:
     def _drop_from_p1(self, vertex: int) -> None:
         """``vertex`` stops being an unstarred source; promote its edges."""
         self._p1_set.remove(vertex)
-        self._p1.remove(vertex)
+        self._p1.pop(bisect_left(self._p1, vertex))
         for edge in self._incident.get(vertex, ()):
             a, b = edge
             if (

@@ -72,6 +72,15 @@ class ProtocolParameters:
         disable this to take the per-round cost of the check off the hot
         path.  Model soundness checks that bound the *adversary* (budget,
         distinct channels) are never disabled.
+    meter_payloads:
+        When ``True`` (the default), the network sizes every honest frame
+        (:func:`repro.radio.metrics.payload_size`) into
+        ``NetworkMetrics.payload_units`` — the counter wire-encoding work
+        such as the delta feedback frames is judged by.  The walk is
+        O(payload) per transmission on the per-round path (compiled
+        schedules size each static template once), so throughput
+        benchmarks that don't read the counter may disable it, exactly
+        like ``validate_actions``.
     """
 
     feedback_factor: float = 3.0
@@ -80,6 +89,7 @@ class ProtocolParameters:
     strict_consistency: bool = True
     max_rounds: int | None = 20_000_000
     validate_actions: bool = True
+    meter_payloads: bool = True
 
     def validate(self) -> "ProtocolParameters":
         """Check internal consistency; returns ``self`` for chaining."""

@@ -16,7 +16,7 @@ verbatim:
 """
 
 from .actions import SLEEP, Action, Listen, Sleep, Transmit
-from .messages import JAM, Jam, Message
+from .messages import DELTA_KIND, JAM, DeltaFrame, Jam, Message
 from .network import (
     AdversaryView,
     CompiledRound,
@@ -25,13 +25,15 @@ from .network import (
     RoundSchedule,
 )
 from .trace import ExecutionTrace, RoundRecord, SparseDelivered
-from .metrics import NetworkMetrics
+from .metrics import NetworkMetrics, frame_size, payload_size
 from .export import channel_occupancy, dump_trace, trace_to_records
 
 __all__ = [
     "Action",
     "AdversaryView",
     "CompiledRound",
+    "DELTA_KIND",
+    "DeltaFrame",
     "ExecutionTrace",
     "JAM",
     "Jam",
@@ -48,5 +50,7 @@ __all__ = [
     "Transmit",
     "channel_occupancy",
     "dump_trace",
+    "frame_size",
+    "payload_size",
     "trace_to_records",
 ]

@@ -8,6 +8,49 @@ that disable trace retention still get round/energy accounting from here.
 from __future__ import annotations
 
 from dataclasses import MISSING, dataclass, field, fields
+from typing import Any
+
+_SCALAR_TYPES = frozenset((bool, int, float, str, bytes))
+
+
+def payload_size(payload: Any) -> int:
+    """Abstract wire size of a frame payload, in scalar units.
+
+    The accounting is deliberately simple — every scalar (int, str, bool,
+    bytes digest, ...) costs one unit, containers cost the sum of their
+    contents, ``None`` is free — so that *relative* sizes between frame
+    encodings are meaningful without modelling a real serializer.  A
+    payload that knows its own wire representation (e.g.
+    :class:`~repro.radio.messages.DeltaFrame`) exposes a ``wire_size()``
+    method, which takes precedence over the container fallbacks; this is
+    how the digest/delta feedback frames report their compressed size.
+    """
+    if payload is None:
+        return 0
+    # Exact-type dispatch first: scalar and tuple payloads dominate the
+    # per-round hot path, and the wire_size probe (a getattr) is only
+    # worth paying for the exotic rest.
+    kind = type(payload)
+    if kind in _SCALAR_TYPES:
+        return 1
+    if kind is tuple or kind is list:
+        return sum(payload_size(part) for part in payload)
+    wire = getattr(payload, "wire_size", None)
+    if callable(wire):
+        return wire()
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(payload_size(part) for part in payload)
+    if isinstance(payload, dict):
+        return sum(
+            payload_size(key) + payload_size(value)
+            for key, value in payload.items()
+        )
+    return 1
+
+
+def frame_size(message: Any) -> int:
+    """Wire size of a decodable frame: one unit of kind + its payload."""
+    return 1 + payload_size(message.payload)
 
 
 @dataclass
@@ -31,6 +74,11 @@ class NetworkMetrics:
     spoofs_delivered:
         Deliveries whose sole transmitter was the adversary — i.e. successful
         spoofs at the *radio* level (a protocol may still reject the frame).
+    payload_units:
+        Total wire size of all honest transmissions (see
+        :func:`payload_size`); adversary frames are excluded — their cost
+        model is the per-round channel budget, not bandwidth.  This is the
+        counter the digest/delta feedback frames shrink.
     rounds_by_phase:
         Round counts keyed by the ``phase`` annotation of round metadata.
     """
@@ -42,6 +90,7 @@ class NetworkMetrics:
     collisions: int = 0
     adversary_transmissions: int = 0
     spoofs_delivered: int = 0
+    payload_units: int = 0
     rounds_by_phase: dict[str, int] = field(default_factory=dict)
 
     def note_phase(self, phase: str) -> None:

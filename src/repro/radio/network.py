@@ -27,7 +27,7 @@ from ..errors import ConfigurationError, ProtocolViolation
 from ..params import ProtocolParameters, DEFAULT_PARAMETERS, validate_model
 from .actions import Action, Listen, Sleep, Transmit
 from .messages import Jam, Message, Transmission
-from .metrics import NetworkMetrics
+from .metrics import NetworkMetrics, frame_size, payload_size
 from .trace import ExecutionTrace, RoundRecord, SparseDelivered
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -376,9 +376,14 @@ class RadioNetwork:
         transmitters: dict[int, list[Message | Jam]] = {}
         honest_tx = 0
         listens = 0
+        payload_units = 0
+        meter = self.params.meter_payloads
         for action in actions.values():
             if isinstance(action, Transmit):
                 honest_tx += 1
+                if meter:
+                    # frame_size, inlined: one unit of kind + the payload.
+                    payload_units += 1 + payload_size(action.message.payload)
                 transmitters.setdefault(action.channel, []).append(
                     action.message
                 )
@@ -397,6 +402,7 @@ class RadioNetwork:
         self.metrics.rounds += 1
         self.metrics.honest_transmissions += honest_tx
         self.metrics.listens += listens
+        self.metrics.payload_units += payload_units
         self.metrics.adversary_transmissions += len(adversary_txs)
         self.metrics.deliveries += deliveries
         self.metrics.spoofs_delivered += spoofs
@@ -567,7 +573,13 @@ class RadioNetwork:
             return out
 
         validate = self.params.validate_actions
+        meter_payloads = self.params.meter_payloads
         validated_transmits: set[int] = set()
+        # Payload accounting per distinct transmitter template: a static
+        # template shared by every repetition of a transfer is sized once
+        # (same id-keyed caching as validation), so per-round bookkeeping
+        # stays O(1) even for large knowledge frames.
+        template_sizes: dict[int, int] = {}
         keep_records = self._keep_trace or (
             self.adversary is not None and self.adversary.needs_history
         )
@@ -606,9 +618,21 @@ class RadioNetwork:
                 transmitters, adversary_channels
             )
 
+            if meter_payloads:
+                payload_units = template_sizes.get(id(cr.transmits))
+                if payload_units is None:
+                    payload_units = sum(
+                        frame_size(action.message)
+                        for action in cr.transmits.values()
+                    )
+                    template_sizes[id(cr.transmits)] = payload_units
+            else:
+                payload_units = 0
+
             metrics.rounds += 1
             metrics.honest_transmissions += len(cr.transmits)
             metrics.listens += cr.listen_count
+            metrics.payload_units += payload_units
             metrics.adversary_transmissions += len(adversary_txs)
             metrics.deliveries += deliveries
             metrics.spoofs_delivered += spoofs

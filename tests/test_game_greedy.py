@@ -7,8 +7,66 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis.vertex_cover import vertex_cover_number
 from repro.game.graph import EdgeItem, GameGraph, NodeItem
-from repro.game.greedy import GreedyTermination, greedy_proposal, proposal_pools
+from repro.game.greedy import (
+    GreedyPools,
+    GreedyTermination,
+    greedy_proposal,
+    proposal_pools,
+)
 from repro.game.rules import is_legal_proposal
+
+
+class TestGreedyPoolsBisectRemovals:
+    """The bisect-backed pool removals locate exact entries even inside
+    runs of equal priority: P2 is keyed (dest, source), so edges sharing a
+    destination are adjacent duplicates under the primary sort key, and a
+    removal must excise precisely the granted edge — first, middle, or
+    last of the run — while leaving the canonical order intact."""
+
+    def _dup_dest_setup(self):
+        # Three edges into destination 9 plus flanking runs into 8 and 10;
+        # all sources starred so every edge sits in P2.
+        edges = [(1, 9), (2, 9), (3, 9), (2, 8), (4, 8), (3, 10)]
+        graph = GameGraph.from_pairs(edges, vertices=range(12))
+        reference = graph.copy()
+        pools = GreedyPools(graph)
+        for source in (1, 2, 3, 4):
+            pools.star(source)
+            reference.star(source)
+        assert pools.pools() == proposal_pools(reference)
+        return pools, reference
+
+    @pytest.mark.parametrize(
+        "removal_order",
+        [
+            [(2, 9), (1, 9), (3, 9)],  # middle of the run first
+            [(1, 9), (2, 9), (3, 9)],  # run-start boundary first
+            [(3, 9), (2, 9), (1, 9)],  # run-end boundary first
+            [(2, 8), (3, 9), (4, 8)],  # alternating between runs
+        ],
+    )
+    def test_duplicate_priority_boundary_removals(self, removal_order):
+        pools, reference = self._dup_dest_setup()
+        for edge in removal_order:
+            pools.remove_edge(edge)
+            reference.remove_edge(edge)
+            assert pools.pools() == proposal_pools(reference)
+            t = 1
+            assert pools.proposal(t) == greedy_proposal(reference, t)
+
+    def test_p1_removal_at_adjacent_id_boundaries(self):
+        # Adjacent source ids in P1: dropping one must not disturb its
+        # neighbours (bisect picks the exact index, not a scan-and-shift
+        # of an equal block).
+        edges = [(5, 0), (6, 0), (7, 1)]
+        graph = GameGraph.from_pairs(edges, vertices=range(9))
+        reference = graph.copy()
+        pools = GreedyPools(graph)
+        assert pools.pools()[0] == [5, 6, 7]
+        for node in (6, 5, 7):
+            pools.star(node)
+            reference.star(node)
+            assert pools.pools() == proposal_pools(reference)
 
 
 class TestProposalPools:

@@ -14,13 +14,91 @@ from repro.extensions import (
     StickyEavesdropper,
     run_share_spray,
 )
+from repro.fame.digests import slot_set_digest
 from repro.radio.actions import Listen, Transmit
-from repro.radio.messages import JAM, Message, Transmission
+from repro.radio.messages import DELTA_KIND, JAM, DeltaFrame, Message, Transmission
+from repro.radio.network import CompiledRound, RoundMeta, RoundSchedule
 from repro.rng import RngRegistry
 
 
 def frame(payload="x"):
     return Message(kind="data", sender=0, payload=payload)
+
+
+class TestCompiledDeltaFallback:
+    """Compiled schedules whose frames are digest/delta encoded resolve
+    through the execute_round override exactly like the expanded per-round
+    submission — monitoring, redaction, and payload accounting included.
+    (The fallback was previously only covered for plain full-payload
+    rounds.)"""
+
+    def _delta_schedule(self):
+        rounds = []
+        for rep in range(6):
+            payload = DeltaFrame(
+                tag=("lvl", rep % 2),
+                digest=slot_set_digest((rep, rep + 2)),
+                true_slots=(rep, rep + 2),
+            )
+            transmits = {
+                0: Transmit(0, Message(kind=DELTA_KIND, sender=0, payload=payload)),
+                1: Transmit(2, Message(kind=DELTA_KIND, sender=1, payload=payload)),
+            }
+            listens = {0: [2, 3], 2: [4], 1: [5]}
+            rounds.append(
+                CompiledRound.make(
+                    transmits, listens, RoundMeta(phase="feedback-parallel")
+                )
+            )
+        return RoundSchedule(rounds)
+
+    def test_schedule_matches_per_round_expansion(self):
+        def build():
+            return RestrictedListeningNetwork(8, 3, 1, StickyEavesdropper([0]))
+
+        schedule = self._delta_schedule()
+        via_schedule = build()
+        via_rounds = build()
+        heard = via_schedule.execute_schedule(schedule)
+        expected = []
+        for cr, (actions, meta) in zip(
+            schedule.rounds, schedule.as_action_batches()
+        ):
+            results = via_rounds.execute_round(actions, meta)
+            expected.append(
+                {
+                    channel: results[group[0]]
+                    for channel, group in cr.listens.items()
+                    if group and results[group[0]] is not None
+                }
+            )
+        assert heard == expected
+        # Delta frames decode on the singly-occupied channels.
+        assert all(
+            isinstance(h[0].payload, DeltaFrame) and h[0].kind == DELTA_KIND
+            for h in heard
+        )
+        assert via_schedule.metrics == via_rounds.metrics
+        assert via_schedule.metrics.payload_units > 0
+        assert (
+            via_schedule.redacted_trace.canonical_forms()
+            == via_rounds.redacted_trace.canonical_forms()
+        )
+        assert (
+            via_schedule.observed_channel_rounds
+            == via_rounds.observed_channel_rounds
+        )
+
+    def test_redaction_hides_unmonitored_delta_frames(self):
+        net = RestrictedListeningNetwork(8, 3, 1, StickyEavesdropper([1]))
+        net.execute_schedule(self._delta_schedule())
+        for record in net.redacted_trace:
+            # Channels 0 and 2 carried the delta frames; the adversary
+            # monitored only channel 1, so every delivery it remembers is
+            # redacted to silence.
+            assert record.delivered[0] is None
+            assert record.delivered[2] is None
+            assert record.meta["monitored"] == (1,)
 
 
 class TestRedaction:

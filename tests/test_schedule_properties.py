@@ -11,6 +11,11 @@ leans on:
   sources;
 * witness groups are sized 3(t+1), mutually disjoint, and disjoint from
   every scheduled role.
+
+Also home to the slot-set digest properties backing the delta feedback
+frames: applying any sequence of (possibly overlapping) slot-set deltas
+and digesting incrementally must equal the one-shot digest of the merged
+set, and disjoint parts must combine to the whole.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.fame.config import make_config, witness_group_size
+from repro.fame.digests import SlotSetDigest, combine_digests, slot_set_digest
 from repro.fame.schedule import build_schedule
 from repro.game.graph import GameGraph
 from repro.game.greedy import GreedyTermination, greedy_proposal
@@ -89,6 +95,42 @@ def test_greedy_schedules_are_always_valid(edges, star_seed):
     } | {a.source for a in schedule.assignments}
     assert not witness_union & scheduled_roles
     assert witness_union <= involved | witness_union
+
+
+slot_batches = st.lists(
+    st.lists(st.integers(0, 300), max_size=10), max_size=8
+)
+
+
+@given(batches=slot_batches)
+@settings(max_examples=150, deadline=None)
+def test_delta_apply_then_digest_equals_digest_of_merged(batches):
+    """Incremental update over any delta sequence == one-shot digest of the
+    union — the invariant that lets merge groups maintain their frame
+    digest in O(delta) while receivers verify against the merged set."""
+    incremental = SlotSetDigest()
+    merged: set[int] = set()
+    for batch in batches:
+        incremental.update(batch)
+        merged |= set(batch)
+    assert incremental.value == slot_set_digest(merged)
+    # Order independence: the reversed-order one-shot digest agrees too.
+    assert incremental.value == slot_set_digest(sorted(merged, reverse=True))
+    assert incremental.slots == frozenset(merged)
+
+
+@given(slots=st.sets(st.integers(0, 300), max_size=24), pivot=st.integers(0, 300))
+@settings(max_examples=150, deadline=None)
+def test_disjoint_digests_combine_to_the_union_digest(slots, pivot):
+    """combine_digests over a disjoint split == digest of the whole — the
+    O(1) merge the parallel feedback tree performs per level."""
+    left = {s for s in slots if s < pivot}
+    right = slots - left
+    assert combine_digests(
+        slot_set_digest(left), slot_set_digest(right)
+    ) == slot_set_digest(slots)
+    assert combine_digests(slot_set_digest(slots)) == slot_set_digest(slots)
+    assert combine_digests() == slot_set_digest(())
 
 
 @given(edges=edge_sets)
