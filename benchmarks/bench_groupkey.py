@@ -4,6 +4,15 @@ Sweeps ``n`` at fixed ``t`` and checks that (a) at least ``n - t`` nodes
 adopt the canonical group key under jamming, (b) the total cost grows
 linearly in ``n`` (the dominant Part 1), and (c) Part 1 dominates Parts
 2-3 as the analysis says.
+
+It also meters the honest wire size each part ships
+(``NetworkMetrics.payload_units`` deltas, recorded per part on
+``GroupKeyResult``) — in particular the Part 2 leader-spanner
+dissemination epochs, whose full per-round ciphertext payloads are the
+group-key candidate for the delta-frame treatment the parallel feedback
+merge already received (ROADMAP: "Delta frames for other bulky
+payloads").  This is the measurement baseline only; the wire format is
+unchanged.
 """
 
 from __future__ import annotations
@@ -80,3 +89,46 @@ def _e7_table():
 def test_e7_table(benchmark):
     """Benchmark wrapper so the table regenerates under --benchmark-only."""
     benchmark.pedantic(_e7_table, rounds=1, iterations=1)
+
+
+def _payload_table():
+    """Wire-size baseline for the group-key parts (spanner epochs incl.).
+
+    Records ``payload_units`` per part and per round so the future
+    delta-frame PR has a committed "before" to beat.  Part 2's epochs
+    retransmit the same sealed leader key every round of every pair's
+    epoch — the structural redundancy a digest/delta encoding removes —
+    so its per-round payload is asserted to be the heaviest.
+    """
+    rows = []
+    for n in (17, 24, 32):
+        res = run_one(n, 1, seed=n)
+        s = res.summary()
+        per_round2 = s["part2_payload_units"] / max(1, s["part2_rounds"])
+        rows.append([
+            n, 1,
+            s["part1_payload_units"], s["part2_payload_units"],
+            s["part3_payload_units"], s["total_payload_units"],
+            f"{per_round2:.2f}",
+        ])
+        assert s["part2_payload_units"] > 0, "spanner epochs unmetered"
+        assert s["total_payload_units"] == (
+            s["part1_payload_units"] + s["part2_payload_units"]
+            + s["part3_payload_units"]
+        )
+        # Part 2 ships a full sealed key every transmit round: its
+        # per-round payload dominates the gossip-style Part 3 reports.
+        per_round3 = s["part3_payload_units"] / max(1, s["part3_rounds"])
+        assert per_round2 > per_round3
+    report(
+        "E7b / Section 6 — group-key payload baseline "
+        "(NetworkMetrics.payload_units; spanner epochs = part2)",
+        ["n", "t", "part1 payload", "part2 payload", "part3 payload",
+         "total payload", "part2/round"],
+        rows,
+    )
+
+
+def test_e7_payload_baseline(benchmark):
+    """Benchmark wrapper: regenerates the payload baseline table."""
+    benchmark.pedantic(_payload_table, rounds=1, iterations=1)

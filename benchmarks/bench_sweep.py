@@ -1,0 +1,172 @@
+"""Sweep dispatcher benchmark: serial vs multiprocess vs socket backends.
+
+Runs the *same* :class:`~repro.dispatch.SweepSpec` through all three
+dispatch backends and — **before** timing anything — asserts the three
+reports are byte-identical (``json.dumps(..., sort_keys=True)``): the
+backend layer's whole contract is that dispatch never changes the
+report, so an equivalence regression fails the bench rather than
+inflating it.  Then trials/sec per backend.
+
+Run ``PYTHONPATH=src python benchmarks/bench_sweep.py`` to regenerate
+``benchmarks/BENCH_sweep.json``; ``--quick`` is the CI smoke mode (tiny
+grid, no JSON unless ``--json`` is given).  As with
+``BENCH_montecarlo.json``, ``os.cpu_count()`` is recorded and the
+``--min-speedup`` floor (on the multiprocess backend) is enforced only
+when the machine has at least ``--workers`` cores; the socket backend's
+numbers are recorded but never floored — its per-trial socket round
+trips and worker spawn are overhead the cluster story pays for
+machine-spanning, not local, speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.dispatch import (
+    MultiprocessBackend,
+    SerialBackend,
+    SocketBackend,
+    SweepRunner,
+    SweepSpec,
+)
+
+
+def run_sweep(spec: SweepSpec, backend) -> tuple[dict, float]:
+    """One full sweep on one backend; returns (report dict, trials/sec)."""
+    runner = SweepRunner(spec, backend=backend)
+    start = time.perf_counter()
+    report = runner.run()
+    elapsed = time.perf_counter() - start
+    return report.as_dict(), spec.total_trials / elapsed
+
+
+def assert_equivalent(reports: dict[str, dict]) -> None:
+    """All backends must produce byte-identical reports before timing."""
+    rendered = {
+        name: json.dumps(report, sort_keys=True)
+        for name, report in reports.items()
+    }
+    reference_name = "serial"
+    reference = rendered[reference_name]
+    for name, text in rendered.items():
+        if text != reference:
+            raise AssertionError(
+                f"backend divergence: {name!r} report differs from "
+                f"{reference_name!r}:\n  {reference_name}: "
+                f"{reference[:200]}\n  {name}: {text[:200]}"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sweep dispatcher throughput benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: tiny grid, no JSON written unless --json is given",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for the procs/socket backends (default: 4, quick: 2)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.3,
+        help="fail (exit 1) if the procs-backend speedup drops below this "
+        "— enforced only when os.cpu_count() >= workers",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="output path for the JSON baseline (default: "
+        "benchmarks/BENCH_sweep.json; written automatically in full mode, "
+        "and in --quick mode only when this flag is given)",
+    )
+    args = parser.parse_args(argv)
+    json_path = (
+        args.json
+        if args.json is not None
+        else Path(__file__).parent / "BENCH_sweep.json"
+    )
+    write_json = not args.quick or args.json is not None
+    workers = (
+        args.workers if args.workers is not None else (2 if args.quick else 4)
+    )
+    cpu_count = os.cpu_count() or 1
+
+    if args.quick:
+        spec = SweepSpec(ns=(18,), trials=8, seed=7, pairs=4)
+    else:
+        spec = SweepSpec(
+            ns=(24,), adversaries=("schedule", "random"), trials=16,
+            seed=7, pairs=5,
+        )
+
+    backends = {
+        "serial": SerialBackend(),
+        "procs": MultiprocessBackend(workers),
+        "socket": SocketBackend(workers=workers),
+    }
+    reports: dict[str, dict] = {}
+    throughput: dict[str, float] = {}
+    for name, backend in backends.items():
+        reports[name], throughput[name] = run_sweep(spec, backend)
+    assert_equivalent(reports)
+
+    speedup = {
+        name: throughput[name] / throughput["serial"] for name in backends
+    }
+    for name in backends:
+        print(
+            f"{name:>6}: {throughput[name]:8.2f} trials/s  "
+            f"({speedup[name]:.2f}x vs serial)  (equivalence OK)"
+        )
+
+    enforceable = cpu_count >= workers
+    if write_json:
+        payload = {
+            "generated_by": "benchmarks/bench_sweep.py",
+            "sweep": spec.as_dict(),
+            "equivalence": "serial/procs/socket SweepReport.as_dict "
+            "asserted byte-identical (sort_keys dumps) before timing",
+            "python": platform.python_version(),
+            "cpu_count": cpu_count,
+            "workers": workers,
+            "speedup_floor_enforced": enforceable,
+            "results": {
+                name: {
+                    "trials_per_sec": round(throughput[name], 2),
+                    "speedup_vs_serial": round(speedup[name], 2),
+                }
+                for name in backends
+            },
+        }
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {json_path}")
+
+    if not enforceable:
+        print(
+            f"NOTE: {cpu_count} CPU(s) < {workers} workers — parallel "
+            f"backends cannot beat serial here; speedup floor not enforced "
+            f"(procs measured {speedup['procs']:.2f}x, equivalence still "
+            "asserted)"
+        )
+        return 0
+    if speedup["procs"] < args.min_speedup:
+        print(
+            f"FAIL: procs-backend speedup is {speedup['procs']:.2f}x "
+            f"(< {args.min_speedup}x floor with {workers} workers on "
+            f"{cpu_count} CPUs)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: procs-backend speedup is {speedup['procs']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

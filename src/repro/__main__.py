@@ -9,6 +9,12 @@ Commands
 ``montecarlo``  fan many independent seeded trials over a process pool and
                 print a JSON sweep report (Wilson intervals, disruptability
                 histogram, merged radio metrics)
+``sweep``       expand a parameter grid (workload × n × C × t × adversary)
+                into deterministically seeded trials and dispatch them over
+                a pluggable backend (``--backend serial|procs|socket``),
+                with a durable ``--journal`` and ``--resume``
+``worker``      join a socket-backend sweep as a worker process (connects
+                to the coordinator, pulls trials until shutdown)
 
 Common options: ``--nodes``, ``--channels``, ``--strength`` (t), ``--seed``,
 ``--adversary``.  Every run is deterministic given the seed — for
@@ -18,7 +24,10 @@ Common options: ``--nodes``, ``--channels``, ``--strength`` (t), ``--seed``,
 
 produces merged metrics byte-identical to the same sweep at ``--workers 1``
 (100 trials is also enough for an informative 1/n verdict at the default
-``n=20``; see ``repro.analysis.stats.min_informative_trials``).
+``n=20``; see ``repro.analysis.stats.min_informative_trials``), and for
+``sweep`` the report is byte-identical across backends, worker counts,
+kills, and resumes.  ``--json-out PATH`` (montecarlo and sweep) writes the
+report to a file (trailing newline) and prints only a one-line summary.
 """
 
 from __future__ import annotations
@@ -27,10 +36,14 @@ import argparse
 import json
 import random
 import sys
+from pathlib import Path
 
 from . import __version__
 from .adversary import Adversary
 from .crypto.dh import TEST_GROUP_128
+from .dispatch import SweepRunner, SweepSpec, make_backend, worker_main
+from .dispatch.socket_pool import SocketBackend, parse_endpoint
+from .errors import ConfigurationError, SweepInterrupted
 from .experiments import MonteCarloRunner, WORKLOADS, default_pairs
 from .experiments.workloads import (
     ADVERSARY_FACTORIES as ADVERSARIES,
@@ -113,6 +126,25 @@ def cmd_gauntlet(args: argparse.Namespace) -> int:
     return 0 if worst <= args.strength else 1
 
 
+def _emit_report(
+    payload: dict, json_out: Path | None, summary: str
+) -> None:
+    """Print the report, or write it to a file and print one line.
+
+    ``--json-out`` exists so sweep reports can be collected without shell
+    redirection: the file gets the full JSON (trailing newline included),
+    stdout gets a single summary line.
+    """
+    if json_out is None:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    json_out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"{summary} -> {json_out}")
+
+
 def cmd_montecarlo(args: argparse.Namespace) -> int:
     runner = MonteCarloRunner(
         args.workload,
@@ -127,10 +159,120 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
         adversary=args.adversary,
     )
     report = runner.run()
-    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    whp = {True: "ok", False: "FAILED", None: "uninformative"}[
+        report.whp_claim
+    ]
+    _emit_report(
+        report.as_dict(),
+        args.json_out,
+        f"montecarlo: workload={report.workload} trials={report.trials} "
+        f"success={report.success.successes}/{report.success.trials} "
+        f"whp={whp}",
+    )
     # Exit non-zero only when the w.h.p. claim was checkable and failed;
     # an uninformative trial count reports claim_holds=null and exits 0.
     return 1 if report.whp_claim is False else 0
+
+
+def _sweep_backend(args: argparse.Namespace):
+    if args.backend == "socket":
+        host, port = parse_endpoint(args.bind)
+        return SocketBackend(
+            workers=args.workers,
+            host=host,
+            port=port,
+            spawn_workers=not args.no_spawn_workers,
+        )
+    return make_backend(
+        args.backend, workers=args.workers, chunksize=args.chunksize
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = SweepSpec(
+            workloads=tuple(args.workloads),
+            ns=tuple(args.nodes),
+            channels=tuple(args.channels),
+            ts=tuple(args.strengths),
+            adversaries=tuple(args.adversaries),
+            trials=args.trials,
+            seed=args.seed,
+            pairs=args.pairs,
+        )
+        backend = _sweep_backend(args)
+    except ConfigurationError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+
+    total_points = len(spec.points())
+
+    def on_point_complete(point, section) -> None:
+        if not args.progress:
+            return
+        rate = section["success_rate"]
+        print(
+            f"repro sweep: point {point.point_index + 1}/{total_points} "
+            f"[{point.label()}] success "
+            f"{rate['successes']}/{rate['trials']} "
+            f"max-cover {section['disruptability']['max']}",
+            file=sys.stderr,
+        )
+
+    runner = SweepRunner(
+        spec,
+        backend=backend,
+        journal_path=args.journal,
+        resume=args.resume,
+        on_point_complete=on_point_complete,
+        stop_after=args.stop_after,
+    )
+    try:
+        report = runner.run()
+    except ConfigurationError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+    except SweepInterrupted:
+        partial = runner.state.partial_report()
+        done = f"{partial['completed_trials']}/{partial['total_trials']}"
+        if args.journal is not None:
+            hint = "journalled; rerun with --resume to finish"
+        else:
+            hint = (
+                "completed but DISCARDED (no --journal); rerun with "
+                "--journal to make stops resumable"
+            )
+        print(
+            f"repro sweep: stopped early with {done} trials {hint}",
+            file=sys.stderr,
+        )
+        return 3
+    _emit_report(report.as_dict(), args.json_out, report.summary_line())
+    return 1 if report.whp_failures() else 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ConfigurationError as exc:
+        print(f"repro worker: {exc}", file=sys.stderr)
+        return 2
+    return worker_main(host, port, retry_seconds=args.retry_seconds)
+
+
+def _int_list(text: str) -> list[int]:
+    """Comma-separated ints for grid axes (``--nodes 18,24,32``)."""
+    try:
+        return [int(part) for part in text.split(",") if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a comma-separated list of integers"
+        ) from None
+
+
+def _str_list(text: str) -> list[str]:
+    """Comma-separated names for grid axes (``--adversaries null,sweep``)."""
+    return [part for part in text.split(",") if part != ""]
 
 
 def _add_common_options(p: argparse.ArgumentParser) -> None:
@@ -187,7 +329,102 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument(
         "--workload", choices=sorted(WORKLOADS), default="fame"
     )
+    mc.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        help="write the JSON report to this file (trailing newline) and "
+        "print only a one-line summary to stdout",
+    )
     mc.set_defaults(handler=cmd_montecarlo)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="parameter-grid sweep over pluggable dispatch backends",
+        description="Expand a parameter grid (workload × n × channels × t "
+        "× adversary) into deterministically seeded trials "
+        "(RngRegistry.spawn('sweep', point, trial)) and dispatch them over "
+        "--backend serial|procs|socket.  With --journal every completed "
+        "trial is durably appended; --resume replays the journal, skips "
+        "completed trials, and produces a report byte-identical to an "
+        "uninterrupted run.  The report never depends on the backend, "
+        "worker count, completion order, retries, kills, or resumes.",
+        epilog="example: python -m repro sweep --nodes 18,24 "
+        "--adversaries schedule,random --trials 20 --backend socket "
+        "--workers 4 --journal sweep.jsonl --json-out sweep.json",
+    )
+    sw.add_argument("--workloads", type=_str_list, default=["fame"],
+                    help="comma-separated workload axis")
+    sw.add_argument("--nodes", "-n", type=_int_list, default=[20],
+                    help="comma-separated n axis")
+    sw.add_argument("--channels", "-c", type=_int_list, default=[2],
+                    help="comma-separated channel-count axis")
+    sw.add_argument("--strengths", "-t", type=_int_list, default=[1],
+                    help="comma-separated adversary-strength (t) axis")
+    sw.add_argument("--adversaries", type=_str_list, default=["schedule"],
+                    help="comma-separated adversary axis")
+    sw.add_argument("--trials", type=int, default=20,
+                    help="trials per grid point")
+    sw.add_argument("--seed", type=int, default=0)
+    sw.add_argument("--pairs", type=int, default=5)
+    sw.add_argument(
+        "--backend", choices=("serial", "procs", "socket"), default="serial"
+    )
+    sw.add_argument("--workers", "-j", type=int, default=2,
+                    help="pool size for the procs/socket backends")
+    sw.add_argument(
+        "--chunksize", type=int, default=None,
+        help="trials per dispatch for the procs backend",
+    )
+    sw.add_argument(
+        "--journal", default=None,
+        help="durable JSONL journal path (one fsynced record per trial)",
+    )
+    sw.add_argument(
+        "--resume", action="store_true",
+        help="replay an existing --journal and skip completed trials",
+    )
+    sw.add_argument(
+        "--json-out", type=Path, default=None,
+        help="write the JSON report to this file (trailing newline) and "
+        "print only a one-line summary to stdout",
+    )
+    sw.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed grid point to stderr",
+    )
+    sw.add_argument(
+        "--bind", default="127.0.0.1:0",
+        help="socket backend: coordinator HOST:PORT (0 = OS-assigned)",
+    )
+    sw.add_argument(
+        "--no-spawn-workers", action="store_true",
+        help="socket backend: only listen; workers are started elsewhere "
+        "with `python -m repro worker --connect HOST:PORT`",
+    )
+    sw.add_argument(
+        "--stop-after", type=int, default=None,
+        help="fault injection: stop (exit 3) after this many newly "
+        "completed trials — the journal keeps them; --resume finishes",
+    )
+    sw.set_defaults(handler=cmd_sweep)
+
+    wk = sub.add_parser(
+        "worker",
+        help="join a socket-backend sweep as a worker process",
+        description="Connect to a sweep coordinator, handshake, and pull "
+        "trials until it sends shutdown.  Exit codes: 0 shutdown, 1 "
+        "coordinator unreachable/vanished, 2 handshake rejected or "
+        "malformed --connect endpoint.",
+    )
+    wk.add_argument(
+        "--connect", required=True, help="coordinator HOST:PORT"
+    )
+    wk.add_argument(
+        "--retry-seconds", type=float, default=10.0,
+        help="keep retrying the connection this long before giving up",
+    )
+    wk.set_defaults(handler=cmd_worker)
     return parser
 
 

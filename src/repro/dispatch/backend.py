@@ -1,0 +1,248 @@
+"""Pluggable trial-dispatch backends.
+
+A backend's only job is: given a batch of :class:`~repro.experiments.trial.
+TrialSpec`s, execute each one exactly once (logically) and hand back the
+:class:`~repro.experiments.trial.TrialResult`s in **trial-index order**.
+Everything that makes the Monte Carlo reports deterministic lives outside
+the backend — per-trial seeds are a pure function of the trial index
+(:meth:`~repro.rng.RngRegistry.spawn`), and aggregation sorts by index —
+so any backend that honours the contract produces byte-identical reports.
+``SerialBackend`` really is the degenerate case of the design, exactly as
+ROADMAP's remote fan-out item predicted.
+
+The contract, enforced here by :class:`ResultAssembler`:
+
+* **at-most-once application** — results are keyed by trial index; a
+  duplicate delivery (e.g. a socket worker that died *after* sending a
+  result whose trial was then requeued and re-run) is dropped, so retries
+  and completion order never change the merged output;
+* **streaming** — ``on_result`` fires exactly once per distinct trial, as
+  results arrive, which is what lets the sweep journal flush durable
+  records and partial reports render mid-sweep;
+* **interruptible** — ``should_stop`` is polled between applications; a
+  backend answers a ``True`` with :class:`~repro.errors.SweepInterrupted`
+  carrying everything applied so far.
+
+Backends: :class:`SerialBackend` (in-process loop), :class:`
+MultiprocessBackend` (the historical ``multiprocessing`` pool path, now
+streaming via ``imap``), and :class:`~repro.dispatch.socket_pool.
+SocketBackend` (stdlib socket coordinator + ``python -m repro worker``
+processes, possibly on other machines).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ConfigurationError, DispatchError, SweepInterrupted
+from ..experiments.trial import TrialResult, TrialSpec
+from ..experiments.workloads import run_trial
+
+OnResult = Callable[[TrialResult], None]
+ShouldStop = Callable[[], bool]
+
+
+class ResultAssembler:
+    """At-most-once, order-oblivious collection of trial results.
+
+    Parameters
+    ----------
+    indices:
+        The trial indices the batch is expected to produce.
+    on_result:
+        Callback fired exactly once per *first* application of each index
+        (never for duplicates or unexpected indices).
+    """
+
+    def __init__(
+        self,
+        indices: Iterable[int],
+        on_result: OnResult | None = None,
+    ) -> None:
+        self._expected = set(indices)
+        if len(self._expected) == 0:
+            raise ConfigurationError("cannot assemble an empty batch")
+        self._results: dict[int, TrialResult] = {}
+        self._on_result = on_result
+
+    def apply(self, result: TrialResult) -> bool:
+        """Apply one result; ``False`` if it was a duplicate/unexpected.
+
+        The boolean is the at-most-once guarantee: whatever order results
+        arrive in, and however many times a trial is redelivered, each
+        index is recorded (and ``on_result`` fired) exactly once.
+        """
+        index = result.index
+        if index not in self._expected or index in self._results:
+            return False
+        self._results[index] = result
+        if self._on_result is not None:
+            self._on_result(result)
+        return True
+
+    @property
+    def done(self) -> bool:
+        """True once every expected index has been applied."""
+        return len(self._results) == len(self._expected)
+
+    @property
+    def applied_count(self) -> int:
+        """Number of distinct indices applied so far."""
+        return len(self._results)
+
+    def missing(self) -> list[int]:
+        """Expected indices not yet applied, ascending."""
+        return sorted(self._expected - self._results.keys())
+
+    def ordered(self) -> list[TrialResult]:
+        """Applied results in trial-index order (partial batches allowed)."""
+        return [self._results[i] for i in sorted(self._results)]
+
+
+class DispatchBackend:
+    """Base class for trial-dispatch backends.
+
+    Subclasses implement :meth:`_execute`, feeding every produced result
+    through the assembler; :meth:`run` owns the shared contract (index
+    ordering, duplicate suppression, completeness check, interruption).
+    """
+
+    name = "abstract"
+
+    def run(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        on_result: OnResult | None = None,
+        should_stop: ShouldStop | None = None,
+    ) -> list[TrialResult]:
+        """Execute ``specs``; return their results in trial-index order.
+
+        ``on_result`` fires once per distinct completed trial as results
+        arrive.  ``should_stop`` is polled after each application; a
+        ``True`` raises :class:`~repro.errors.SweepInterrupted` with the
+        results applied so far.
+        """
+        assembler = ResultAssembler(
+            (s.index for s in specs), on_result=on_result
+        )
+        self._execute(list(specs), assembler, should_stop)
+        if not assembler.done:
+            raise DispatchError(
+                f"{self.name} backend finished with trials missing: "
+                f"{assembler.missing()[:10]}"
+            )
+        return assembler.ordered()
+
+    def _execute(
+        self,
+        specs: list[TrialSpec],
+        assembler: ResultAssembler,
+        should_stop: ShouldStop | None,
+    ) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_stop(
+        assembler: ResultAssembler, should_stop: ShouldStop | None
+    ) -> None:
+        if should_stop is not None and should_stop():
+            raise SweepInterrupted(
+                f"stopped after {assembler.applied_count} trials",
+                completed=assembler.ordered(),
+            )
+
+
+class SerialBackend(DispatchBackend):
+    """Run every trial in-process, in submission order.
+
+    This is both the reference implementation the others must match and
+    the fallback for environments without working ``multiprocessing``.
+    """
+
+    name = "serial"
+
+    def _execute(self, specs, assembler, should_stop):
+        for spec in specs:
+            assembler.apply(run_trial(spec))
+            self._check_stop(assembler, should_stop)
+
+
+class MultiprocessBackend(DispatchBackend):
+    """Fan trials over a local ``multiprocessing`` pool.
+
+    The historical ``MonteCarloRunner`` pool path, generalised: ``imap``
+    (same chunking semantics as the old ``Pool.map``, identical results)
+    streams results back in submission order so journalling and partial
+    reports work mid-batch.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (>= 2; use :class:`SerialBackend` for one).
+    chunksize:
+        Trials per worker dispatch; ``None`` picks
+        ``max(1, len(specs) // (workers * 4))`` — large enough to amortise
+        pickling, small enough to keep the pool balanced.
+    """
+
+    name = "procs"
+
+    def __init__(self, workers: int, chunksize: int | None = None) -> None:
+        if workers < 2:
+            raise ConfigurationError(
+                "MultiprocessBackend needs workers >= 2; "
+                "use SerialBackend for in-process runs"
+            )
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be >= 1 when given")
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def effective_chunksize(self, batch_size: int) -> int:
+        """The chunksize actually handed to ``imap`` for a batch."""
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, batch_size // (self.workers * 4))
+
+    def _execute(self, specs, assembler, should_stop):
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=self.workers) as pool:
+            # imap yields in submission order no matter which worker ran
+            # what, so streaming application is oblivious to scheduling.
+            for result in pool.imap(
+                run_trial, specs, chunksize=self.effective_chunksize(len(specs))
+            ):
+                assembler.apply(result)
+                self._check_stop(assembler, should_stop)
+
+
+def default_backend(
+    workers: int, chunksize: int | None = None
+) -> DispatchBackend:
+    """The backend a plain ``workers=N`` request means: serial below 2."""
+    if workers <= 1:
+        return SerialBackend()
+    return MultiprocessBackend(workers, chunksize)
+
+
+BACKEND_NAMES = ("serial", "procs", "socket")
+"""CLI names accepted by :func:`make_backend` (and ``--backend``)."""
+
+
+def make_backend(
+    name: str, *, workers: int = 2, chunksize: int | None = None
+) -> DispatchBackend:
+    """Instantiate a backend by CLI name."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "procs":
+        return MultiprocessBackend(max(2, workers), chunksize)
+    if name == "socket":
+        from .socket_pool import SocketBackend
+
+        return SocketBackend(workers=max(1, workers))
+    raise ConfigurationError(
+        f"unknown dispatch backend {name!r}; pick from {BACKEND_NAMES}"
+    )

@@ -1,0 +1,182 @@
+"""Durable JSONL journal for sweep runs: append-only, replayable.
+
+One line per completed trial, flushed and fsynced before the dispatcher
+moves on, so a killed sweep loses at most the trial in flight.  The first
+line is a header carrying the sweep's configuration fingerprint;
+``--resume`` replays the journal, refuses a fingerprint mismatch (a
+journal from a *different* sweep must never be merged in), skips every
+completed index, and — because the records reconstruct the exact
+:class:`~repro.experiments.trial.TrialResult`s — the resumed run's report
+is byte-identical to an uninterrupted one.
+
+Record formats (JSON, one object per line):
+
+* ``{"kind": "header", "journal_version": 1, "fingerprint": ...}``
+* ``{"kind": "trial", "index": ..., "seed": ..., "success": ...,
+  "cover": ..., "result": <base64 pickle>}``
+
+The human-auditable fields (index/seed/success/cover) are convenience
+duplicates; the pickle field is authoritative — it round-trips tuple
+types and metrics subclasses that plain JSON would flatten.  A truncated
+final line (the crash happened mid-write) is skipped on replay; a corrupt
+*interior* line is an error, since records after it prove the file was
+not merely cut short.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import IO
+
+from ..errors import ConfigurationError, DispatchError
+from ..experiments.trial import TrialResult
+
+JOURNAL_VERSION = 1
+
+
+def encode_record(result: TrialResult) -> str:
+    """One JSONL trial record (no trailing newline)."""
+    blob = base64.b64encode(
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+    return json.dumps(
+        {
+            "kind": "trial",
+            "index": result.index,
+            "seed": result.seed,
+            "success": result.success,
+            "cover": result.cover,
+            "result": blob,
+        },
+        sort_keys=True,
+    )
+
+
+def decode_record(record: dict) -> TrialResult:
+    """Reconstruct the exact :class:`TrialResult` a record was made from."""
+    result = pickle.loads(base64.b64decode(record["result"]))
+    if result.index != record["index"]:
+        raise DispatchError(
+            f"journal record index {record['index']} does not match its "
+            f"payload ({result.index})"
+        )
+    return result
+
+
+class SweepJournal:
+    """Append-only JSONL journal bound to one sweep fingerprint.
+
+    Use :meth:`attach` — it owns the create-vs-resume decision and returns
+    the already-completed results alongside the open journal.
+    """
+
+    def __init__(self, path: Path, handle: IO[str]) -> None:
+        self.path = path
+        self._handle = handle
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(
+        cls, path: str | Path, fingerprint: str, *, resume: bool
+    ) -> tuple["SweepJournal", dict[int, TrialResult]]:
+        """Open ``path`` for appending; return ``(journal, completed)``.
+
+        A fresh path is created with a header line.  An existing path
+        requires ``resume=True`` (guarding against accidentally mixing
+        two sweeps' records) and a matching ``fingerprint``; its trial
+        records are replayed into ``completed`` (first occurrence of an
+        index wins — the at-most-once rule applied retroactively).
+        """
+        path = Path(path)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = path.open("a", encoding="utf-8")
+            journal = cls(path, handle)
+            journal._append_line(
+                json.dumps(
+                    {
+                        "kind": "header",
+                        "journal_version": JOURNAL_VERSION,
+                        "fingerprint": fingerprint,
+                    },
+                    sort_keys=True,
+                )
+            )
+            return journal, {}
+        if not resume:
+            raise ConfigurationError(
+                f"journal {path} already exists; pass --resume to continue "
+                "it or choose a fresh path"
+            )
+        completed = cls._replay(path, fingerprint)
+        return cls(path, path.open("a", encoding="utf-8")), completed
+
+    @staticmethod
+    def _replay(path: Path, fingerprint: str) -> dict[int, TrialResult]:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise DispatchError(f"journal {path} is empty (no header)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise DispatchError(
+                f"journal {path} has a corrupt header line"
+            ) from None
+        if header.get("kind") != "header":
+            raise DispatchError(f"journal {path} does not start with a header")
+        if header.get("journal_version") != JOURNAL_VERSION:
+            raise DispatchError(
+                f"journal {path} is version "
+                f"{header.get('journal_version')!r}, expected "
+                f"{JOURNAL_VERSION}"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise ConfigurationError(
+                f"journal {path} belongs to a different sweep "
+                f"(fingerprint {header.get('fingerprint')!r}); refusing to "
+                "resume into it"
+            )
+        completed: dict[int, TrialResult] = {}
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                result = decode_record(record)
+            except (json.JSONDecodeError, KeyError, ValueError,
+                    pickle.UnpicklingError, EOFError):
+                if lineno == len(lines):
+                    # Crash mid-append: the cut-short final record is the
+                    # one trial the journal is allowed to lose.
+                    break
+                raise DispatchError(
+                    f"journal {path} line {lineno} is corrupt but not final"
+                ) from None
+            completed.setdefault(result.index, result)
+        return completed
+
+    # ------------------------------------------------------------------
+
+    def _append_line(self, line: str) -> None:
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, result: TrialResult) -> None:
+        """Durably record one completed trial."""
+        self._append_line(encode_record(result))
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,503 @@
+"""Stdlib-only socket worker pool: coordinator + ``python -m repro worker``.
+
+The one backend that leaves the machine: a coordinator binds a TCP port,
+workers (local subprocesses it spawns itself, or ``python -m repro worker
+--connect HOST:PORT`` processes started anywhere that can reach the port)
+connect, handshake, and pull one :class:`~repro.experiments.trial.
+TrialSpec` at a time.  ``socket`` + ``selectors`` + ``pickle`` only — no
+third-party queue.
+
+Wire protocol (version :data:`PROTOCOL_VERSION`)
+------------------------------------------------
+Every frame is a 4-byte big-endian length prefix followed by a pickled
+dict (capped at :data:`MAX_FRAME_BYTES` against malformed prefixes):
+
+* worker → ``{"kind": "hello", "protocol": 1, "repro": ..., "pid": ...}``
+* coordinator → ``{"kind": "welcome"}`` or ``{"kind": "reject",
+  "reason": ...}`` (protocol mismatch: the stray worker is turned away
+  and the sweep continues with the rest);
+* coordinator → ``{"kind": "task", "spec": TrialSpec}``; worker →
+  ``{"kind": "result", "result": TrialResult}`` (or ``{"kind": "error",
+  ...}`` if the trial itself raised — deterministic trials fail the same
+  way everywhere, so that aborts the batch instead of requeueing);
+* coordinator → ``{"kind": "shutdown"}`` once every trial is applied.
+
+Fault model
+-----------
+A worker that vanishes (killed, OOM, network cut) surfaces as EOF or a
+send failure; its in-flight spec is requeued for the next idle worker —
+*unless* its result already arrived, the at-most-once guard
+(:class:`~repro.dispatch.backend.ResultAssembler` keyed by trial index)
+making redelivery harmless either way.  Because per-trial seeds are a
+pure function of the trial index, a requeued trial re-runs bit-for-bit
+identically on any worker, so the merged report stays byte-identical to
+serial regardless of completion order, retries, or worker count.
+
+Trust model: coordinator and workers mutually trust each other (frames
+are pickles).  Bind to localhost or a private network you control.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigurationError, DispatchError
+from ..experiments.trial import TrialSpec
+from ..experiments.workloads import run_trial
+from .backend import DispatchBackend, ResultAssembler
+
+PROTOCOL_VERSION = 1
+"""Coordinator/worker wire-protocol version, checked in the handshake."""
+
+MAX_FRAME_BYTES = 1 << 28
+"""Upper bound on a single frame; larger prefixes abort the connection."""
+
+_RECV_CHUNK = 1 << 16
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Pickle ``obj`` and send it with a 4-byte length prefix."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise DispatchError(
+            f"refusing to send a {len(data)}-byte frame "
+            f"(cap {MAX_FRAME_BYTES})"
+        )
+    sock.sendall(len(data).to_bytes(4, "big") + data)
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < nbytes:
+        chunk = sock.recv(nbytes - len(chunks))
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Blocking read of one length-prefixed frame (the worker side)."""
+    length = int.from_bytes(_recv_exact(sock, 4), "big")
+    if length > MAX_FRAME_BYTES:
+        raise DispatchError(
+            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
+        )
+    return pickle.loads(_recv_exact(sock, length))
+
+
+class FrameDecoder:
+    """Incremental decoder for the coordinator's non-blocking reads."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Buffer ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: list[Any] = []
+        while len(self._buffer) >= 4:
+            length = int.from_bytes(self._buffer[:4], "big")
+            if length > MAX_FRAME_BYTES:
+                raise DispatchError(
+                    f"peer announced a {length}-byte frame "
+                    f"(cap {MAX_FRAME_BYTES})"
+                )
+            if len(self._buffer) < 4 + length:
+                break
+            frames.append(pickle.loads(bytes(self._buffer[4 : 4 + length])))
+            del self._buffer[: 4 + length]
+        return frames
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (the ``--connect`` / ``--bind`` argument)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"endpoint {text!r} is not of the form HOST:PORT"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"endpoint {text!r} has a non-integer port"
+        ) from None
+
+
+def worker_main(
+    host: str, port: int, *, retry_seconds: float = 10.0
+) -> int:
+    """The ``python -m repro worker`` loop; returns a process exit code.
+
+    Connects (retrying up to ``retry_seconds`` so workers may be started
+    before the coordinator binds), handshakes, then pulls tasks until the
+    coordinator sends ``shutdown`` (exit 0).  A rejected handshake exits
+    2; a coordinator that vanishes mid-run exits 1.
+    """
+    from .. import __version__
+
+    deadline = time.monotonic() + retry_seconds
+    sock: socket.socket | None = None
+    while sock is None:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                print(
+                    f"repro worker: cannot reach {host}:{port} "
+                    f"after {retry_seconds}s",
+                    file=sys.stderr,
+                )
+                return 1
+            time.sleep(0.1)
+    sock.settimeout(None)
+    try:
+        send_frame(
+            sock,
+            {
+                "kind": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "repro": __version__,
+                "pid": os.getpid(),
+            },
+        )
+        greeting = recv_frame(sock)
+        if greeting.get("kind") != "welcome":
+            print(
+                f"repro worker: rejected by coordinator: "
+                f"{greeting.get('reason', greeting)}",
+                file=sys.stderr,
+            )
+            return 2
+        while True:
+            frame = recv_frame(sock)
+            kind = frame.get("kind")
+            if kind == "shutdown":
+                return 0
+            if kind != "task":
+                print(
+                    f"repro worker: unexpected frame {kind!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            spec: TrialSpec = frame["spec"]
+            try:
+                result = run_trial(spec)
+            except Exception as exc:  # deterministic failure: report it
+                send_frame(
+                    sock,
+                    {
+                        "kind": "error",
+                        "index": spec.index,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+                continue
+            send_frame(sock, {"kind": "result", "result": result})
+    except (EOFError, OSError):
+        print("repro worker: coordinator vanished", file=sys.stderr)
+        return 1
+    finally:
+        sock.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class _Connection:
+    """Coordinator-side state for one worker socket."""
+
+    __slots__ = ("sock", "decoder", "ready", "in_flight", "peer")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.decoder = FrameDecoder()
+        self.ready = False  # handshake completed
+        self.in_flight: TrialSpec | None = None
+        self.peer: dict[str, Any] = {}
+
+
+class SocketBackend(DispatchBackend):
+    """Coordinator for the socket worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Local worker subprocesses to spawn (``spawn_workers=True``); also
+        the pool's nominal size for reporting.
+    host, port:
+        Bind address; ``port=0`` lets the OS pick (the spawned workers
+        are told the real port).  Bind a routable host + fixed port with
+        ``spawn_workers=False`` to serve workers on other machines.
+    spawn_workers:
+        Spawn ``workers`` local ``python -m repro worker`` subprocesses
+        after binding.  When ``False`` the coordinator only listens and
+        prints the bound endpoint to stderr; start workers yourself.
+    accept_timeout:
+        Seconds to wait for the first successful handshake.
+    idle_timeout:
+        Seconds of no frames/connections before the batch is declared
+        stuck (workers are then torn down; journalled trials survive).
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_workers: bool = True,
+        accept_timeout: float = 30.0,
+        idle_timeout: float = 300.0,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("SocketBackend needs workers >= 1")
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.spawn_workers = spawn_workers
+        self.accept_timeout = accept_timeout
+        self.idle_timeout = idle_timeout
+        self.spawned: list[subprocess.Popen] = []
+        self.address: tuple[str, int] | None = None
+
+    # -- worker process management ------------------------------------
+
+    def _spawn(self, count: int) -> None:
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+        host, port = self.address  # type: ignore[misc]
+        for _ in range(count):
+            self.spawned.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        f"{host}:{port}",
+                    ],
+                    env=env,
+                )
+            )
+
+    def _reap_spawned(self, *, force: bool) -> None:
+        for proc in self.spawned:
+            if proc.poll() is None and force:
+                proc.terminate()
+        for proc in self.spawned:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+    # -- the coordinator loop ------------------------------------------
+
+    def _execute(self, specs, assembler, should_stop):
+        pending: deque[TrialSpec] = deque(specs)
+        sel = selectors.DefaultSelector()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen()
+        listener.setblocking(False)
+        self.address = listener.getsockname()[:2]
+        sel.register(listener, selectors.EVENT_READ, data=None)
+        conns: dict[int, _Connection] = {}
+        self.spawned = []
+        ever_connected = False
+        started = last_activity = time.monotonic()
+
+        def drop(conn: _Connection) -> None:
+            """Forget a worker; requeue its unapplied in-flight spec."""
+            try:
+                sel.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            conns.pop(conn.sock.fileno(), None)
+            conn.sock.close()
+            spec = conn.in_flight
+            conn.in_flight = None
+            if spec is not None and spec.index in assembler.missing():
+                pending.appendleft(spec)
+                assign_idle()
+
+        def send_or_drop(conn: _Connection, frame: dict[str, Any]) -> bool:
+            try:
+                send_frame(conn.sock, frame)
+                return True
+            except OSError:
+                drop(conn)
+                return False
+
+        def assign(conn: _Connection) -> None:
+            if conn.in_flight is None and pending:
+                spec = pending.popleft()
+                conn.in_flight = spec
+                if not send_or_drop(conn, {"kind": "task", "spec": spec}):
+                    return  # drop() already requeued the spec
+
+        def assign_idle() -> None:
+            """Hand requeued work to an already-idle ready worker."""
+            for conn in list(conns.values()):
+                if not pending:
+                    return
+                if conn.ready and conn.in_flight is None:
+                    assign(conn)
+
+        def handle(frame: Any, conn: _Connection) -> None:
+            kind = frame.get("kind") if isinstance(frame, dict) else None
+            if kind == "hello":
+                conn.peer = frame
+                if frame.get("protocol") != PROTOCOL_VERSION:
+                    send_or_drop(
+                        conn,
+                        {
+                            "kind": "reject",
+                            "reason": (
+                                f"protocol {frame.get('protocol')!r} != "
+                                f"coordinator protocol {PROTOCOL_VERSION}"
+                            ),
+                        },
+                    )
+                    conn.ready = False
+                    drop(conn)
+                    return
+                if send_or_drop(conn, {"kind": "welcome"}):
+                    conn.ready = True
+                    assign(conn)
+                return
+            if kind == "result":
+                result = frame["result"]
+                if conn.in_flight is not None and (
+                    conn.in_flight.index == result.index
+                ):
+                    conn.in_flight = None
+                assembler.apply(result)  # duplicates dropped by index
+                self._check_stop(assembler, should_stop)
+                assign(conn)
+                return
+            if kind == "error":
+                raise DispatchError(
+                    f"trial {frame.get('index')} failed on worker "
+                    f"pid={conn.peer.get('pid')}: {frame.get('error')}"
+                )
+            raise DispatchError(f"unexpected frame from worker: {frame!r}")
+
+        try:
+            if self.spawn_workers:
+                self._spawn(self.workers)
+            else:
+                print(
+                    f"repro sweep: socket coordinator listening on "
+                    f"{self.address[0]}:{self.address[1]}",
+                    file=sys.stderr,
+                )
+            while not assembler.done:
+                for key, _events in sel.select(timeout=0.25):
+                    if key.data is None:
+                        try:
+                            accepted, _addr = listener.accept()
+                        except BlockingIOError:
+                            continue
+                        accepted.setblocking(False)
+                        conn = _Connection(accepted)
+                        conns[accepted.fileno()] = conn
+                        sel.register(
+                            accepted, selectors.EVENT_READ, data=conn
+                        )
+                        last_activity = time.monotonic()
+                        continue
+                    conn = key.data
+                    try:
+                        chunk = conn.sock.recv(_RECV_CHUNK)
+                    except BlockingIOError:
+                        continue
+                    except OSError:
+                        drop(conn)
+                        continue
+                    if not chunk:
+                        drop(conn)
+                        continue
+                    last_activity = time.monotonic()
+                    for frame in conn.decoder.feed(chunk):
+                        handle(frame, conn)
+                        if assembler.done:
+                            break
+                    ever_connected = ever_connected or conn.ready
+                now = time.monotonic()
+                if not assembler.done:
+                    self._check_liveness(
+                        assembler, ever_connected, conns, started,
+                        last_activity, now,
+                    )
+            # Batch complete: release every connected worker.
+            for conn in list(conns.values()):
+                send_or_drop(conn, {"kind": "shutdown"})
+        finally:
+            for conn in list(conns.values()):
+                try:
+                    sel.unregister(conn.sock)
+                except (KeyError, ValueError):
+                    pass
+                conn.sock.close()
+            sel.unregister(listener)
+            listener.close()
+            sel.close()
+            # Workers exit on shutdown/EOF; force only the stragglers.
+            self._reap_spawned(force=not assembler.done)
+
+    def _check_liveness(
+        self, assembler, ever_connected, conns, started, last_activity, now
+    ) -> None:
+        live = [c for c in conns.values() if c.ready]
+        if not ever_connected and now - started > self.accept_timeout:
+            if self.spawn_workers:
+                self._reap_spawned(force=True)
+            raise DispatchError(
+                f"no worker completed the handshake within "
+                f"{self.accept_timeout}s"
+            )
+        if self.spawn_workers and not live:
+            if all(p.poll() is not None for p in self.spawned):
+                raise DispatchError(
+                    f"all {len(self.spawned)} spawned workers exited with "
+                    f"trials missing: {assembler.missing()[:10]}"
+                )
+        if now - last_activity > self.idle_timeout:
+            raise DispatchError(
+                f"no worker activity for {self.idle_timeout}s with "
+                f"trials missing: {assembler.missing()[:10]}"
+            )

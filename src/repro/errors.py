@@ -58,6 +58,32 @@ class SimulationDiverged(ReproError):
     """
 
 
+class DispatchError(ReproError):
+    """Raised when a trial-dispatch backend cannot complete its batch.
+
+    Examples: every socket worker died with trials still queued, a frame
+    exceeded the wire-size cap, or the coordinator sat idle past its
+    timeout with results outstanding.  Completed trials are never lost to
+    this error — anything already journalled stays journalled, so a
+    ``--resume`` picks up where the failed batch stopped.
+    """
+
+
+class SweepInterrupted(ReproError):
+    """Raised when a dispatch run is stopped early on purpose.
+
+    Carries ``completed`` (trial results applied before the stop, in index
+    order) so callers can render a partial report.  This is the controlled
+    counterpart of :class:`DispatchError`: the stop predicate handed to
+    ``DispatchBackend.run`` asked to halt (e.g. the CLI's ``--stop-after``
+    fault-injection flag), nothing failed.
+    """
+
+    def __init__(self, message: str, completed: tuple = ()) -> None:
+        super().__init__(message)
+        self.completed = tuple(completed)
+
+
 class CryptoError(ReproError):
     """Raised for failures in the from-scratch crypto substrate.
 

@@ -12,17 +12,23 @@ not one.  This package turns that into a subsystem:
   headline workloads (f-AME delivery, group-key establishment, the
   adversary gauntlet) plus the shared adversary gallery;
 * :class:`~repro.experiments.runner.MonteCarloRunner` — fans trials over a
-  ``multiprocessing`` pool and aggregates Wilson intervals, disruptability
-  histograms, and merged radio metrics into a
+  :mod:`repro.dispatch` backend (in-process serial, a ``multiprocessing``
+  pool, or the socket worker pool) and aggregates Wilson intervals,
+  disruptability histograms, and merged radio metrics into a
   :class:`~repro.experiments.runner.MonteCarloReport`.
 
-``python -m repro montecarlo`` is the CLI front-end.
+Execution mechanics live in :mod:`repro.dispatch`: this package defines
+*what* a trial is and how outcomes aggregate, the dispatch layer decides
+*where* trials run (and adds journalled, resumable parameter-grid sweeps
+on top).  ``python -m repro montecarlo`` and ``python -m repro sweep``
+are the CLI front-ends.
 """
 
 from .runner import MonteCarloReport, MonteCarloRunner
 from .trial import TrialResult, TrialSpec, trial_seed
 from .workloads import (
     ADVERSARY_FACTORIES,
+    WORKLOAD_USES_ADVERSARY,
     WORKLOADS,
     default_pairs,
     make_adversary,
@@ -35,6 +41,7 @@ __all__ = [
     "MonteCarloRunner",
     "TrialResult",
     "TrialSpec",
+    "WORKLOAD_USES_ADVERSARY",
     "WORKLOADS",
     "default_pairs",
     "make_adversary",

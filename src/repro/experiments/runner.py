@@ -1,8 +1,10 @@
-"""The multiprocess Monte Carlo trial runner.
+"""The Monte Carlo trial runner.
 
 :class:`MonteCarloRunner` fans independent seeded trials over a
-``multiprocessing`` pool (serial fallback at ``workers <= 1``) and folds
-the outcomes into one :class:`MonteCarloReport`:
+:class:`~repro.dispatch.backend.DispatchBackend` — serial in-process at
+``workers <= 1``, a ``multiprocessing`` pool above that, or any backend
+passed to :meth:`~MonteCarloRunner.run` (e.g. the socket worker pool) —
+and folds the outcomes into one :class:`MonteCarloReport`:
 
 * per-trial seeds come from ``RngRegistry(seed).spawn("trial", i)`` — a
   pure function of the master seed and the trial *index*, so seeds are
@@ -23,9 +25,8 @@ runner works under ``fork``, ``forkserver``, and ``spawn`` start methods.
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import asdict, dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..analysis.disruption import disruptability_histogram
 from ..analysis.stats import (
@@ -38,7 +39,10 @@ from ..errors import ConfigurationError
 from ..radio.metrics import NetworkMetrics
 from ..rng import RngRegistry
 from .trial import TrialResult, TrialSpec
-from .workloads import ADVERSARY_FACTORIES, WORKLOADS, run_trial
+from .workloads import ADVERSARY_FACTORIES, WORKLOADS
+
+if TYPE_CHECKING:  # avoid a runtime cycle: dispatch imports workloads
+    from ..dispatch.backend import DispatchBackend
 
 
 @dataclass(frozen=True)
@@ -204,7 +208,7 @@ class MonteCarloRunner:
 
     @property
     def effective_chunksize(self) -> int:
-        """The chunksize actually handed to ``Pool.map``."""
+        """The chunksize handed to the multiprocess backend's ``imap``."""
         if self.chunksize is not None:
             return self.chunksize
         return max(1, self.trials // (self.workers * 4))
@@ -227,21 +231,29 @@ class MonteCarloRunner:
             for i in range(self.trials)
         ]
 
-    def run(self) -> MonteCarloReport:
-        """Execute every trial and aggregate."""
+    def run(
+        self, backend: "DispatchBackend | None" = None
+    ) -> MonteCarloReport:
+        """Execute every trial and aggregate.
+
+        With no ``backend``, ``workers``/``chunksize`` pick the classic
+        behaviour — in-process serial at ``workers <= 1``, a local
+        ``multiprocessing`` pool otherwise.  Any
+        :class:`~repro.dispatch.backend.DispatchBackend` (e.g. the socket
+        worker pool) may be passed instead; the report is byte-identical
+        regardless, because seeds derive from trial indices and the
+        backend contract applies results at-most-once in index order.
+        """
+        # Imported here, not at module top: dispatch.backend imports this
+        # package's workloads, so a top-level import would be circular.
+        from ..dispatch.backend import default_backend
+
         specs = self.specs()
-        if self.workers <= 1:
-            results: list[TrialResult] = [run_trial(s) for s in specs]
-        else:
-            ctx = multiprocessing.get_context()
-            with ctx.Pool(processes=self.workers) as pool:
-                # Pool.map returns results in submission order no matter
-                # which worker ran what, so aggregation below is oblivious
-                # to scheduling.
-                results = pool.map(
-                    run_trial, specs, chunksize=self.effective_chunksize
-                )
-        return self.aggregate(results)
+        if backend is None:
+            backend = default_backend(
+                self.workers, chunksize=self.effective_chunksize
+            )
+        return self.aggregate(backend.run(specs))
 
     def aggregate(self, results: Sequence[TrialResult]) -> MonteCarloReport:
         """Fold trial results (any order) into the deterministic report."""

@@ -76,14 +76,24 @@ def default_pairs(n: int, count: int) -> list[tuple[int, int]]:
 WORKLOADS: dict[str, Callable[[TrialSpec], TrialResult]] = {}
 """Registered trial factories, keyed by ``TrialSpec.workload``."""
 
+WORKLOAD_USES_ADVERSARY: dict[str, bool] = {}
+"""Whether a workload honours ``TrialSpec.adversary``.
+
+``gauntlet`` runs the whole gallery internally and ignores the field, so
+sweeping it across an adversary axis would duplicate identical
+configurations — :class:`repro.dispatch.sweep.SweepSpec` consults this
+map to reject such grids.
+"""
+
 
 def register_workload(
-    name: str,
+    name: str, *, uses_adversary: bool = True
 ) -> Callable[[Callable[[TrialSpec], TrialResult]], Callable[[TrialSpec], TrialResult]]:
     """Class-less registry decorator for workload functions."""
 
     def register(fn: Callable[[TrialSpec], TrialResult]):
         WORKLOADS[name] = fn
+        WORKLOAD_USES_ADVERSARY[name] = uses_adversary
         return fn
 
     return register
@@ -198,7 +208,7 @@ def groupkey_trial(spec: TrialSpec) -> TrialResult:
     )
 
 
-@register_workload("gauntlet")
+@register_workload("gauntlet", uses_adversary=False)
 def gauntlet_trial(spec: TrialSpec) -> TrialResult:
     """f-AME against every adversary in the gallery, worst case reported.
 

@@ -117,6 +117,7 @@ class GroupKeyProtocol:
         self, result: GroupKeyResult
     ) -> dict[frozenset[int], bytes]:
         start = self.network.metrics.rounds
+        payload_start = self.network.metrics.payload_units
         keypairs = {
             v: self.group.keypair(self.rng.stream("dh", v))
             for v in range(self.n)
@@ -158,6 +159,9 @@ class GroupKeyProtocol:
         result.pairwise_established = set(pair_keys)
         result.pairwise_keys = dict(pair_keys)
         result.part1_rounds = self.network.metrics.rounds - start
+        result.part1_payload_units = (
+            self.network.metrics.payload_units - payload_start
+        )
         return pair_keys
 
     # ------------------------------------------------------------------
@@ -170,6 +174,7 @@ class GroupKeyProtocol:
         result: GroupKeyResult,
     ) -> dict[int, dict[int, bytes]]:
         start = self.network.metrics.rounds
+        payload_start = self.network.metrics.payload_units
         completed = []
         for v in self.leaders:
             partners = sum(
@@ -283,6 +288,9 @@ class GroupKeyProtocol:
             node: dict(keys) for node, keys in received.items()
         }
         result.part2_rounds = self.network.metrics.rounds - start
+        result.part2_payload_units = (
+            self.network.metrics.payload_units - payload_start
+        )
         return received
 
     # ------------------------------------------------------------------
@@ -295,6 +303,7 @@ class GroupKeyProtocol:
         result: GroupKeyResult,
     ) -> None:
         start = self.network.metrics.rounds
+        payload_start = self.network.metrics.payload_units
         non_leaders = [v for v in range(self.n) if v not in self.leaders]
         reporters = non_leaders[: 2 * self.t + 1]
         if len(reporters) < 2 * self.t + 1:
@@ -396,6 +405,9 @@ class GroupKeyProtocol:
             min(result.completed_leaders) if result.completed_leaders else None
         )
         result.part3_rounds = self.network.metrics.rounds - start
+        result.part3_payload_units = (
+            self.network.metrics.payload_units - payload_start
+        )
 
     # ------------------------------------------------------------------
 

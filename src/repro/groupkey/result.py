@@ -40,6 +40,13 @@ class GroupKeyResult:
         the group key.
     part1_rounds, part2_rounds, part3_rounds:
         Radio rounds consumed by each part.
+    part1_payload_units, part2_payload_units, part3_payload_units:
+        Honest wire size shipped by each part
+        (:attr:`~repro.radio.metrics.NetworkMetrics.payload_units` deltas;
+        zero when the network's ``meter_payloads`` gate is off).  Part 2 —
+        the leader-spanner dissemination epochs — is the bulky one, and
+        this baseline is what a future delta-frame encoding for group-key
+        payloads would be measured against.
     fame_summary:
         The Part 1 f-AME run's summary dict (disruptability etc.).
     """
@@ -57,6 +64,9 @@ class GroupKeyResult:
     part1_rounds: int = 0
     part2_rounds: int = 0
     part3_rounds: int = 0
+    part1_payload_units: int = 0
+    part2_payload_units: int = 0
+    part3_payload_units: int = 0
     fame_summary: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -72,6 +82,15 @@ class GroupKeyResult:
     def total_rounds(self) -> int:
         """Radio rounds across all three parts."""
         return self.part1_rounds + self.part2_rounds + self.part3_rounds
+
+    @property
+    def total_payload_units(self) -> int:
+        """Honest wire units shipped across all three parts."""
+        return (
+            self.part1_payload_units
+            + self.part2_payload_units
+            + self.part3_payload_units
+        )
 
     def holders(self) -> list[int]:
         """Nodes that adopted the canonical group key."""
@@ -99,4 +118,8 @@ class GroupKeyResult:
             "part2_rounds": self.part2_rounds,
             "part3_rounds": self.part3_rounds,
             "total_rounds": self.total_rounds,
+            "part1_payload_units": self.part1_payload_units,
+            "part2_payload_units": self.part2_payload_units,
+            "part3_payload_units": self.part3_payload_units,
+            "total_payload_units": self.total_payload_units,
         }

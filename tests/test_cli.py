@@ -74,6 +74,25 @@ class TestCommands:
         assert report["whp"]["claim_holds"] is None
         assert report["whp"]["informative"] is False
 
+    def test_montecarlo_json_out_writes_file_and_one_line(
+        self, capsys, tmp_path
+    ):
+        assert main(
+            ["montecarlo", "--trials", "4", "-n", "18", "--seed", "7"]
+        ) == 0
+        stdout_report = json.loads(capsys.readouterr().out)
+        out = tmp_path / "mc.json"
+        assert main(
+            ["montecarlo", "--trials", "4", "-n", "18", "--seed", "7",
+             "--json-out", str(out)]
+        ) == 0
+        summary = capsys.readouterr().out
+        assert summary.count("\n") == 1  # a single line on stdout
+        assert "montecarlo:" in summary and str(out) in summary
+        text = out.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == stdout_report
+
     def test_montecarlo_workers_do_not_change_report(self, capsys):
         assert main(
             ["montecarlo", "--trials", "4", "-n", "18", "--seed", "7",
@@ -91,3 +110,105 @@ class TestCommands:
         parallel.pop("workers"), serial.pop("workers")
         parallel.pop("chunksize"), serial.pop("chunksize")
         assert parallel == serial
+
+
+class TestSweepCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.nodes == [20] and args.adversaries == ["schedule"]
+        assert args.backend == "serial" and args.trials == 20
+        assert args.journal is None and not args.resume
+
+    def test_grid_axes_parse_comma_lists(self):
+        args = build_parser().parse_args(
+            ["sweep", "--nodes", "18,24", "--adversaries", "null,sweep"]
+        )
+        assert args.nodes == [18, 24]
+        assert args.adversaries == ["null", "sweep"]
+
+    def test_bad_axis_value_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--nodes", "18,x"])
+
+    def test_unknown_adversary_exits_2(self, capsys):
+        assert main(["sweep", "--adversaries", "nope", "--trials", "1"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_sweep_reports_grid(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--nodes", "18", "--adversaries", "schedule,null",
+             "--trials", "2", "--seed", "7", "--pairs", "4",
+             "--json-out", str(out)]
+        ) == 0
+        summary = capsys.readouterr().out
+        assert summary.count("\n") == 1 and "sweep:" in summary
+        report = json.loads(out.read_text())
+        assert report["totals"]["points"] == 2
+        assert report["totals"]["trials"] == 4
+        assert [p["point_index"] for p in report["points"]] == [0, 1]
+        # backend-shape-free report
+        assert "workers" not in report["points"][0]
+
+    def test_stop_after_then_resume_matches_uninterrupted(
+        self, capsys, tmp_path
+    ):
+        grid = ["sweep", "--nodes", "18", "--trials", "3", "--seed", "7",
+                "--pairs", "4"]
+        ref = tmp_path / "ref.json"
+        assert main(grid + ["--json-out", str(ref)]) == 0
+        capsys.readouterr()
+        journal = tmp_path / "sweep.jsonl"
+        stopped = main(
+            grid + ["--journal", str(journal), "--stop-after", "1",
+                    "--json-out", str(tmp_path / "partial.json")]
+        )
+        captured = capsys.readouterr()
+        assert stopped == 3
+        assert "rerun with --resume" in captured.err
+        assert not (tmp_path / "partial.json").exists()
+        resumed = tmp_path / "resumed.json"
+        assert main(
+            grid + ["--journal", str(journal), "--resume",
+                    "--json-out", str(resumed)]
+        ) == 0
+        assert resumed.read_bytes() == ref.read_bytes()
+
+    def test_existing_journal_without_resume_exits_2(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        grid = ["sweep", "--nodes", "18", "--trials", "1", "--seed", "7",
+                "--journal", str(journal)]
+        assert main(grid) == 0
+        capsys.readouterr()
+        assert main(grid) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_progress_lines_on_stderr(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--nodes", "18", "--trials", "2", "--seed", "7",
+             "--progress", "--json-out", str(tmp_path / "s.json")]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "point 1/1" in err
+
+
+class TestWorkerCommand:
+    def test_connect_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_unreachable_coordinator_exits_1(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(
+            ["worker", "--connect", f"127.0.0.1:{port}",
+             "--retry-seconds", "0.2"]
+        ) == 1
+
+    def test_malformed_endpoint_exits_2(self, capsys):
+        assert main(["worker", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err

@@ -1,0 +1,343 @@
+"""Tests for the dispatch subsystem: backends, journal, sweeps.
+
+The socket backend's end-to-end scenarios (real worker processes, kills,
+resume) live in ``tests/test_dispatch_socket.py``; hypothesis properties
+in ``tests/test_dispatch_properties.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dispatch import (
+    BACKEND_NAMES,
+    MultiprocessBackend,
+    ResultAssembler,
+    SerialBackend,
+    SweepJournal,
+    SweepReport,
+    SweepRunner,
+    SweepSpec,
+    SweepState,
+    default_backend,
+    make_backend,
+)
+from repro.dispatch.journal import decode_record, encode_record
+from repro.errors import (
+    ConfigurationError,
+    DispatchError,
+    SweepInterrupted,
+)
+from repro.experiments import MonteCarloRunner, TrialResult
+from repro.radio.metrics import NetworkMetrics
+from repro.rng import RngRegistry
+
+N = 18  # smallest population comfortably above the f-AME witness bound
+
+
+def make_runner(workers: int = 1, trials: int = 4, **kwargs) -> MonteCarloRunner:
+    kwargs.setdefault("n", N)
+    kwargs.setdefault("pairs", 4)
+    return MonteCarloRunner(
+        kwargs.pop("workload", "fame"),
+        trials,
+        seed=kwargs.pop("seed", 7),
+        workers=workers,
+        **kwargs,
+    )
+
+
+def fake_result(index: int, success: bool = True) -> TrialResult:
+    return TrialResult(
+        index=index,
+        seed=index * 11,
+        success=success,
+        failed_pairs=() if success else ((0, 1),),
+        metrics=NetworkMetrics(rounds=index + 1),
+        cover=0 if success else 1,
+    )
+
+
+small_spec = SweepSpec(ns=(N,), trials=2, seed=7, pairs=4)
+
+
+class TestResultAssembler:
+    def test_applies_each_index_once(self):
+        seen = []
+        assembler = ResultAssembler([0, 1, 2], on_result=seen.append)
+        assert assembler.apply(fake_result(1))
+        assert not assembler.apply(fake_result(1))  # duplicate dropped
+        assert not assembler.apply(fake_result(9))  # unexpected dropped
+        assert [r.index for r in seen] == [1]
+        assert assembler.missing() == [0, 2]
+        assert not assembler.done
+
+    def test_ordered_is_index_order_whatever_arrival_order(self):
+        assembler = ResultAssembler([0, 1, 2])
+        for i in (2, 0, 1, 2, 0):
+            assembler.apply(fake_result(i))
+        assert assembler.done
+        assert [r.index for r in assembler.ordered()] == [0, 1, 2]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultAssembler([])
+
+
+class TestBackends:
+    def test_serial_matches_multiprocess(self):
+        specs = make_runner().specs()
+        serial = SerialBackend().run(specs)
+        parallel = MultiprocessBackend(2).run(specs)
+        assert serial == parallel
+
+    def test_runner_accepts_explicit_backend(self):
+        runner = make_runner()
+        assert runner.run(SerialBackend()) == runner.run()
+        assert runner.run(MultiprocessBackend(2)) == runner.run()
+
+    def test_on_result_streams_in_index_order_for_serial(self):
+        seen: list[int] = []
+        SerialBackend().run(
+            make_runner().specs(), on_result=lambda r: seen.append(r.index)
+        )
+        assert seen == [0, 1, 2, 3]
+
+    def test_should_stop_interrupts_with_completed_results(self):
+        specs = make_runner().specs()
+        seen: list[int] = []
+        with pytest.raises(SweepInterrupted) as excinfo:
+            SerialBackend().run(
+                specs,
+                on_result=lambda r: seen.append(r.index),
+                should_stop=lambda: len(seen) >= 2,
+            )
+        assert [r.index for r in excinfo.value.completed] == [0, 1]
+
+    def test_multiprocess_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiprocessBackend(1)
+        with pytest.raises(ConfigurationError):
+            MultiprocessBackend(2, chunksize=0)
+        assert MultiprocessBackend(2).effective_chunksize(64) == 8
+        assert MultiprocessBackend(2, chunksize=3).effective_chunksize(64) == 3
+
+    def test_default_backend_shape(self):
+        assert isinstance(default_backend(1), SerialBackend)
+        assert isinstance(default_backend(4), MultiprocessBackend)
+
+    def test_make_backend_names(self):
+        assert make_backend("serial").name == "serial"
+        assert make_backend("procs", workers=3).workers == 3
+        assert make_backend("socket", workers=2).name == "socket"
+        with pytest.raises(ConfigurationError):
+            make_backend("carrier-pigeon")
+        assert set(BACKEND_NAMES) == {"serial", "procs", "socket"}
+
+
+class TestJournal:
+    def test_record_round_trips_exact_result(self):
+        result = fake_result(3, success=False)
+        record = json.loads(encode_record(result))
+        assert record["index"] == 3 and record["success"] is False
+        assert decode_record(record) == result
+
+    def test_attach_fresh_then_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, completed = SweepJournal.attach(path, "fp", resume=False)
+        assert completed == {}
+        journal.append(fake_result(0))
+        journal.append(fake_result(2))
+        journal.close()
+        journal, completed = SweepJournal.attach(path, "fp", resume=True)
+        journal.close()
+        assert sorted(completed) == [0, 2]
+        assert completed[2] == fake_result(2)
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepJournal.attach(path, "fp", resume=False)[0].close()
+        with pytest.raises(ConfigurationError):
+            SweepJournal.attach(path, "fp", resume=False)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepJournal.attach(path, "fp-a", resume=False)[0].close()
+        with pytest.raises(ConfigurationError):
+            SweepJournal.attach(path, "fp-b", resume=True)
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = SweepJournal.attach(path, "fp", resume=False)
+        journal.append(fake_result(0))
+        journal.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(encode_record(fake_result(1))[: 40])  # crash mid-write
+        _journal, completed = SweepJournal.attach(path, "fp", resume=True)
+        _journal.close()
+        assert sorted(completed) == [0]
+
+    def test_corrupt_interior_line_is_an_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = SweepJournal.attach(path, "fp", resume=False)
+        journal.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write("{broken\n")
+            fh.write(encode_record(fake_result(1)) + "\n")
+        with pytest.raises(DispatchError):
+            SweepJournal.attach(path, "fp", resume=True)
+
+    def test_duplicate_records_keep_first(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = SweepJournal.attach(path, "fp", resume=False)
+        journal.append(fake_result(0, success=True))
+        journal.append(fake_result(0, success=False))  # redelivery
+        journal.close()
+        _journal, completed = SweepJournal.attach(path, "fp", resume=True)
+        _journal.close()
+        assert completed[0].success is True
+
+
+class TestSweepSpec:
+    def test_grid_order_is_product_order(self):
+        spec = SweepSpec(
+            workloads=("fame",), ns=(18, 24), channels=(2,), ts=(1,),
+            adversaries=("schedule", "null"), trials=2,
+        )
+        labels = [(p.n, p.adversary) for p in spec.points()]
+        assert labels == [
+            (18, "schedule"), (18, "null"), (24, "schedule"), (24, "null")
+        ]
+        assert [p.point_index for p in spec.points()] == [0, 1, 2, 3]
+        assert spec.total_trials == 8
+
+    def test_seeds_come_from_sweep_point_trial_spawn(self):
+        spec = SweepSpec(ns=(18, 24), trials=3, seed=11)
+        root = RngRegistry(seed=11)
+        for trial in spec.specs():
+            point_index = spec.point_for_index(trial.index)
+            trial_index = trial.index - point_index * spec.trials
+            assert trial.seed == root.spawn(
+                "sweep", point_index, trial_index
+            ).seed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(ns=())
+        with pytest.raises(ConfigurationError):
+            SweepSpec(ns=(18, 18))
+        with pytest.raises(ConfigurationError):
+            SweepSpec(workloads=("nope",))
+        with pytest.raises(ConfigurationError):
+            SweepSpec(adversaries=("nope",))
+        with pytest.raises(ConfigurationError):
+            SweepSpec(trials=0)
+
+    def test_adversary_blind_workload_rejects_adversary_axis(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                workloads=("gauntlet",), adversaries=("schedule", "null")
+            )
+        # mixed grids too: the gauntlet points would be the identical
+        # configuration run twice under different labels
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                workloads=("fame", "gauntlet"),
+                adversaries=("schedule", "null"),
+            )
+        # a single-adversary grid is the supported way to sweep gauntlet
+        SweepSpec(workloads=("fame", "gauntlet"), adversaries=("schedule",))
+
+    def test_fingerprint_tracks_config(self):
+        a, b = SweepSpec(seed=1), SweepSpec(seed=2)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == SweepSpec(seed=1).fingerprint()
+
+
+class TestSweepRunnerSerial:
+    def test_report_is_backend_shape_free(self):
+        report = SweepRunner(small_spec).run().as_dict()
+        text = json.dumps(report, sort_keys=True)
+        assert '"workers"' not in text
+        assert '"chunksize"' not in text
+        assert report["totals"]["trials"] == small_spec.total_trials
+
+    def test_multiprocess_backend_matches_serial(self):
+        serial = SweepRunner(small_spec).run()
+        procs = SweepRunner(
+            small_spec, backend=MultiprocessBackend(2)
+        ).run()
+        assert json.dumps(serial.as_dict(), sort_keys=True) == json.dumps(
+            procs.as_dict(), sort_keys=True
+        )
+
+    def test_journal_stop_resume_identical_to_uninterrupted(self, tmp_path):
+        uninterrupted = SweepRunner(small_spec).run().as_dict()
+        journal = tmp_path / "sweep.jsonl"
+        with pytest.raises(SweepInterrupted):
+            SweepRunner(
+                small_spec, journal_path=str(journal), stop_after=1
+            ).run()
+        assert journal.exists()
+        resumed = SweepRunner(
+            small_spec, journal_path=str(journal), resume=True
+        ).run().as_dict()
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            uninterrupted, sort_keys=True
+        )
+
+    def test_resume_with_complete_journal_runs_nothing(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = SweepRunner(small_spec, journal_path=str(journal)).run()
+
+        class ExplodingBackend(SerialBackend):
+            def _execute(self, specs, assembler, should_stop):
+                raise AssertionError("no trials should be dispatched")
+
+        again = SweepRunner(
+            small_spec,
+            backend=ExplodingBackend(),
+            journal_path=str(journal),
+            resume=True,
+        ).run()
+        assert again.as_dict() == first.as_dict()
+
+    def test_on_point_complete_streams(self):
+        finished = []
+        SweepRunner(
+            small_spec,
+            on_point_complete=lambda point, section: finished.append(
+                (point.point_index, section["success_rate"]["trials"])
+            ),
+        ).run()
+        assert finished == [(0, small_spec.trials)]
+
+    def test_partial_report_renders_mid_sweep(self, tmp_path):
+        spec = SweepSpec(ns=(N,), adversaries=("schedule", "null"),
+                         trials=2, seed=7, pairs=4)
+        runner = SweepRunner(
+            spec, journal_path=str(tmp_path / "j.jsonl"), stop_after=3
+        )
+        with pytest.raises(SweepInterrupted):
+            runner.run()
+        partial = runner.state.partial_report()
+        assert partial["completed_trials"] == 3
+        assert partial["total_trials"] == 4
+        done = {p["point_index"]: p for p in partial["points"]}
+        assert done[0]["completed_trials"] == 2
+        assert done[1]["completed_trials"] == 1
+        assert partial["pending_points"] == []
+        # the half-done point renders with what it has
+        assert done[1]["success_rate"]["trials"] == 1
+
+    def test_partial_report_lists_untouched_points_as_pending(self):
+        state = SweepState(small_spec)
+        partial = state.partial_report()
+        assert partial["points"] == []
+        assert [p["point_index"] for p in partial["pending_points"]] == [0]
+
+    def test_report_build_requires_completeness(self):
+        with pytest.raises(DispatchError):
+            SweepReport.build(small_spec, [])
