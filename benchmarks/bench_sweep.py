@@ -1,21 +1,31 @@
 """Sweep dispatcher benchmark: serial vs multiprocess vs socket backends.
 
 Runs the *same* :class:`~repro.dispatch.SweepSpec` through all three
-dispatch backends and — **before** timing anything — asserts the three
-reports are byte-identical (``json.dumps(..., sort_keys=True)``): the
+dispatch backends and — **before** timing anything — asserts the
+reports are byte-identical (``json.dumps(..., sort_keys=True)``),
+including a fault-injected socket run (one worker killed mid-sweep, the
+coordinator stopped halfway, the journal resumed on a fresh pool): the
 backend layer's whole contract is that dispatch never changes the
 report, so an equivalence regression fails the bench rather than
 inflating it.  Then trials/sec per backend.
+
+The socket backend is timed twice: **cold** (spawn + import + handshake
+included — what a one-shot ``--backend socket`` run pays) and **warm**
+(pool pre-warmed via :meth:`SocketBackend.warm_up`, measuring dispatch
+throughput alone — what a long-lived cluster pool looks like in steady
+state, and the number the protocol-v2 batching work targets).  The
+headline ``socket`` entry is the warm one; ``socket_cold`` is recorded
+alongside.
 
 Run ``PYTHONPATH=src python benchmarks/bench_sweep.py`` to regenerate
 ``benchmarks/BENCH_sweep.json``; ``--quick`` is the CI smoke mode (tiny
 grid, no JSON unless ``--json`` is given).  As with
 ``BENCH_montecarlo.json``, ``os.cpu_count()`` is recorded and the
-``--min-speedup`` floor (on the multiprocess backend) is enforced only
-when the machine has at least ``--workers`` cores; the socket backend's
-numbers are recorded but never floored — its per-trial socket round
-trips and worker spawn are overhead the cluster story pays for
-machine-spanning, not local, speed.
+floors are enforced only when the machine has at least ``--workers``
+cores: the procs backend must beat ``--min-speedup``, the warm socket
+backend must match the procs backend (``--min-socket-vs-procs``) and
+must beat the protocol-v1 baseline of 0.13x serial by at least
+``--min-socket-improvement`` (default 3x).
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -35,6 +46,10 @@ from repro.dispatch import (
     SweepRunner,
     SweepSpec,
 )
+from repro.errors import SweepInterrupted
+
+SOCKET_V1_BASELINE = 0.13
+"""Recorded speedup-vs-serial of the one-spec-per-frame protocol v1."""
 
 
 def run_sweep(spec: SweepSpec, backend) -> tuple[dict, float]:
@@ -44,6 +59,52 @@ def run_sweep(spec: SweepSpec, backend) -> tuple[dict, float]:
     report = runner.run()
     elapsed = time.perf_counter() - start
     return report.as_dict(), spec.total_trials / elapsed
+
+
+def run_kill_and_resume(spec: SweepSpec, workers: int, batch_size) -> dict:
+    """The fault-injected socket run: kill a worker, stop, resume.
+
+    One worker is killed on the first completed trial (its in-flight
+    batches are requeued with applied indices filtered out), the
+    coordinator stops after half the trials (``SweepInterrupted``), and
+    a fresh pool resumes from the journal.  Returns the resumed report.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "sweep.jsonl"
+        backend = SocketBackend(
+            workers=workers, batch_size=batch_size, accept_timeout=60.0
+        )
+        runner = SweepRunner(
+            spec,
+            backend=backend,
+            journal_path=str(journal),
+            stop_after=max(1, spec.total_trials // 2),
+        )
+        killed = []
+        original_add = runner.state.add
+
+        def add_and_kill(result):
+            if not killed and backend.spawned:
+                backend.spawned[0].kill()
+                killed.append(True)
+            return original_add(result)
+
+        runner.state.add = add_and_kill
+        try:
+            runner.run()
+        except SweepInterrupted:
+            pass
+        else:  # stop_after < total_trials always interrupts
+            raise AssertionError("fault-injected run was not interrupted")
+        report = SweepRunner(
+            spec,
+            backend=SocketBackend(
+                workers=workers, batch_size=batch_size, accept_timeout=60.0
+            ),
+            journal_path=str(journal),
+            resume=True,
+        ).run()
+        return report.as_dict()
 
 
 def assert_equivalent(reports: dict[str, dict]) -> None:
@@ -76,9 +137,26 @@ def main(argv: list[str] | None = None) -> int:
         help="pool size for the procs/socket backends (default: 4, quick: 2)",
     )
     parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="pin the socket backend's trials per batch frame "
+        "(default: adaptive)",
+    )
+    parser.add_argument(
         "--min-speedup", type=float, default=1.3,
         help="fail (exit 1) if the procs-backend speedup drops below this "
         "— enforced only when os.cpu_count() >= workers",
+    )
+    parser.add_argument(
+        "--min-socket-vs-procs", type=float, default=1.0,
+        help="fail if warm-socket trials/sec divided by procs trials/sec "
+        "drops below this — enforced only when os.cpu_count() >= workers",
+    )
+    parser.add_argument(
+        "--min-socket-improvement", type=float, default=3.0,
+        help=f"fail if the warm socket backend's speedup-vs-serial is not "
+        f"at least this many times the protocol-v1 baseline "
+        f"({SOCKET_V1_BASELINE}x) — enforced only when os.cpu_count() >= "
+        "workers",
     )
     parser.add_argument(
         "--json", type=Path, default=None,
@@ -106,43 +184,67 @@ def main(argv: list[str] | None = None) -> int:
             seed=7, pairs=5,
         )
 
-    backends = {
-        "serial": SerialBackend(),
-        "procs": MultiprocessBackend(workers),
-        "socket": SocketBackend(workers=workers),
-    }
     reports: dict[str, dict] = {}
     throughput: dict[str, float] = {}
-    for name, backend in backends.items():
-        reports[name], throughput[name] = run_sweep(spec, backend)
+
+    reports["serial"], throughput["serial"] = run_sweep(spec, SerialBackend())
+    reports["procs"], throughput["procs"] = run_sweep(
+        spec, MultiprocessBackend(workers)
+    )
+    # Cold socket: one-shot pool, spawn + import + handshake on the clock.
+    reports["socket_cold"], throughput["socket_cold"] = run_sweep(
+        spec, SocketBackend(workers=workers, batch_size=args.batch_size)
+    )
+    # Warm socket: pool pre-warmed off the clock, dispatch alone timed.
+    warm = SocketBackend(
+        workers=workers, batch_size=args.batch_size, keep_alive=True
+    )
+    try:
+        warm.warm_up(timeout=60.0)
+        reports["socket"], throughput["socket"] = run_sweep(spec, warm)
+    finally:
+        warm.close()
+    # Fault injection: kill one worker + stop halfway + journal resume
+    # must still reproduce the serial report byte-for-byte.
+    reports["socket_kill_resume"] = run_kill_and_resume(
+        spec, workers, args.batch_size
+    )
     assert_equivalent(reports)
 
     speedup = {
-        name: throughput[name] / throughput["serial"] for name in backends
+        name: rate / throughput["serial"]
+        for name, rate in throughput.items()
     }
-    for name in backends:
+    for name, rate in throughput.items():
         print(
-            f"{name:>6}: {throughput[name]:8.2f} trials/s  "
+            f"{name:>12}: {rate:8.2f} trials/s  "
             f"({speedup[name]:.2f}x vs serial)  (equivalence OK)"
         )
+    print(
+        f"{'equivalence':>12}: serial == procs == socket_cold == socket "
+        "== socket_kill_resume (byte-identical reports)"
+    )
 
     enforceable = cpu_count >= workers
     if write_json:
         payload = {
             "generated_by": "benchmarks/bench_sweep.py",
             "sweep": spec.as_dict(),
-            "equivalence": "serial/procs/socket SweepReport.as_dict "
-            "asserted byte-identical (sort_keys dumps) before timing",
+            "equivalence": "serial/procs/socket(cold+warm) SweepReport."
+            "as_dict asserted byte-identical (sort_keys dumps) before "
+            "timing, including a kill-one-worker + --resume socket run",
             "python": platform.python_version(),
             "cpu_count": cpu_count,
             "workers": workers,
+            "batch_size": args.batch_size or "adaptive",
+            "socket_v1_baseline_speedup": SOCKET_V1_BASELINE,
             "speedup_floor_enforced": enforceable,
             "results": {
                 name: {
-                    "trials_per_sec": round(throughput[name], 2),
+                    "trials_per_sec": round(rate, 2),
                     "speedup_vs_serial": round(speedup[name], 2),
                 }
-                for name in backends
+                for name, rate in throughput.items()
             },
         }
         json_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -151,20 +253,44 @@ def main(argv: list[str] | None = None) -> int:
     if not enforceable:
         print(
             f"NOTE: {cpu_count} CPU(s) < {workers} workers — parallel "
-            f"backends cannot beat serial here; speedup floor not enforced "
-            f"(procs measured {speedup['procs']:.2f}x, equivalence still "
-            "asserted)"
+            f"backends cannot beat serial here; floors not enforced "
+            f"(procs {speedup['procs']:.2f}x, warm socket "
+            f"{speedup['socket']:.2f}x vs the {SOCKET_V1_BASELINE}x v1 "
+            "baseline, equivalence still asserted)"
         )
         return 0
+    failures = []
     if speedup["procs"] < args.min_speedup:
-        print(
-            f"FAIL: procs-backend speedup is {speedup['procs']:.2f}x "
-            f"(< {args.min_speedup}x floor with {workers} workers on "
-            f"{cpu_count} CPUs)",
-            file=sys.stderr,
+        failures.append(
+            f"procs-backend speedup is {speedup['procs']:.2f}x "
+            f"(< {args.min_speedup}x floor)"
         )
+    socket_vs_procs = throughput["socket"] / throughput["procs"]
+    if socket_vs_procs < args.min_socket_vs_procs:
+        failures.append(
+            f"warm socket is {socket_vs_procs:.2f}x the procs backend "
+            f"(< {args.min_socket_vs_procs}x floor)"
+        )
+    improvement = speedup["socket"] / SOCKET_V1_BASELINE
+    if improvement < args.min_socket_improvement:
+        failures.append(
+            f"warm socket speedup {speedup['socket']:.2f}x is only "
+            f"{improvement:.1f}x the {SOCKET_V1_BASELINE}x v1 baseline "
+            f"(< {args.min_socket_improvement}x floor)"
+        )
+    if failures:
+        for failure in failures:
+            print(
+                f"FAIL: {failure} with {workers} workers on "
+                f"{cpu_count} CPUs",
+                file=sys.stderr,
+            )
         return 1
-    print(f"\nOK: procs-backend speedup is {speedup['procs']:.2f}x")
+    print(
+        f"\nOK: procs {speedup['procs']:.2f}x, warm socket "
+        f"{socket_vs_procs:.2f}x procs and {improvement:.1f}x the v1 "
+        "socket baseline"
+    )
     return 0
 
 

@@ -14,7 +14,8 @@ Commands
                 a pluggable backend (``--backend serial|procs|socket``),
                 with a durable ``--journal`` and ``--resume``
 ``worker``      join a socket-backend sweep as a worker process (connects
-                to the coordinator, pulls trials until shutdown)
+                to the coordinator, pulls batches of trials until shutdown;
+                ``--batch-size`` on the sweep side pins the batch size)
 
 Common options: ``--nodes``, ``--channels``, ``--strength`` (t), ``--seed``,
 ``--adversary``.  Every run is deterministic given the seed — for
@@ -182,6 +183,7 @@ def _sweep_backend(args: argparse.Namespace):
             host=host,
             port=port,
             spawn_workers=not args.no_spawn_workers,
+            batch_size=args.batch_size,
         )
     return make_backend(
         args.backend, workers=args.workers, chunksize=args.chunksize
@@ -375,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument(
         "--chunksize", type=int, default=None,
         help="trials per dispatch for the procs backend",
+    )
+    sw.add_argument(
+        "--batch-size", type=int, default=None,
+        help="socket backend: pin trials per batch frame (default: sized "
+        "adaptively from observed per-trial cost)",
     )
     sw.add_argument(
         "--journal", default=None,

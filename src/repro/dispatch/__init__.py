@@ -17,7 +17,13 @@ differently.  This package makes that literal:
   socket_pool.SocketBackend`: a stdlib ``socket``/``selectors``/pickle
   coordinator serving ``python -m repro worker`` processes (local or on
   other machines), with length-prefixed framing, a versioned handshake,
-  and lost-worker detection that requeues in-flight trials.
+  per-run spec-context tables (shared ``TrialSpec`` fields pickled once
+  per worker, not once per trial), batched spec frames sized adaptively
+  from observed per-trial cost (``--batch-size`` pins them), a pipelined
+  in-flight window of batches per worker, optional warm pools reused
+  across runs (``keep_alive=True`` / ``warm_up()`` / ``close()``), and
+  lost-worker detection that requeues in-flight batches with
+  already-applied indices filtered out.
 * :mod:`~repro.dispatch.journal` — the durable JSONL
   :class:`~repro.dispatch.journal.SweepJournal` (one fsynced record per
   completed trial; ``--resume`` replays it and skips completed indices).

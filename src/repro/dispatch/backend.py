@@ -23,11 +23,17 @@ The contract, enforced here by :class:`ResultAssembler`:
   backend answers a ``True`` with :class:`~repro.errors.SweepInterrupted`
   carrying everything applied so far.
 
+A backend may also hold *pool state* between :meth:`DispatchBackend.run`
+calls (the socket pool's warm workers): :meth:`DispatchBackend.close`
+releases it, backends are context managers, and the base implementations
+are no-ops so stateless backends need not care.
+
 Backends: :class:`SerialBackend` (in-process loop), :class:`
 MultiprocessBackend` (the historical ``multiprocessing`` pool path, now
-streaming via ``imap``), and :class:`~repro.dispatch.socket_pool.
-SocketBackend` (stdlib socket coordinator + ``python -m repro worker``
-processes, possibly on other machines).
+streaming via ``imap`` with batch-derived chunk sizes), and
+:class:`~repro.dispatch.socket_pool.SocketBackend` (stdlib socket
+coordinator + ``python -m repro worker`` processes, possibly on other
+machines, shipping batched spec frames over a pipelined window).
 """
 
 from __future__ import annotations
@@ -41,6 +47,28 @@ from ..experiments.workloads import run_trial
 
 OnResult = Callable[[TrialResult], None]
 ShouldStop = Callable[[], bool]
+
+MIN_AUTO_CHUNK = 4
+"""Floor for derived chunksizes: per-dispatch IPC overhead is roughly
+constant, so chunks below this spend a visible fraction of a small
+grid's wall time on dispatch instead of trials."""
+
+
+def auto_chunksize(batch_size: int, workers: int) -> int:
+    """Chunksize for ``batch_size`` specs over ``workers`` processes.
+
+    Large batches keep the classic ``batch // (workers * 4)`` — four
+    waves per worker, balanced when trial wall times vary.  Small
+    batches are where that heuristic collapsed to 1–2-trial dispatches
+    whose IPC overhead dominated (the 16-trial sweep points of
+    ``BENCH_sweep``): the :data:`MIN_AUTO_CHUNK` floor batches them up,
+    capped at an even ``ceil(batch / workers)`` split so every worker
+    still gets work.
+    """
+    per_worker = -(-batch_size // workers)  # ceil: an even split
+    return max(1, min(
+        max(batch_size // (workers * 4), MIN_AUTO_CHUNK), per_worker
+    ))
 
 
 class ResultAssembler:
@@ -143,6 +171,15 @@ class DispatchBackend:
     ) -> None:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release any pool state held between runs (no-op by default)."""
+
+    def __enter__(self) -> "DispatchBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     @staticmethod
     def _check_stop(
         assembler: ResultAssembler, should_stop: ShouldStop | None
@@ -182,9 +219,10 @@ class MultiprocessBackend(DispatchBackend):
     workers:
         Pool size (>= 2; use :class:`SerialBackend` for one).
     chunksize:
-        Trials per worker dispatch; ``None`` picks
-        ``max(1, len(specs) // (workers * 4))`` — large enough to amortise
-        pickling, small enough to keep the pool balanced.
+        Trials per worker dispatch; ``None`` derives one with
+        :func:`auto_chunksize` from the *actual* batch handed to
+        :meth:`run` — the whole sweep's spec stream, never a single
+        point's trial count.
     """
 
     name = "procs"
@@ -204,7 +242,7 @@ class MultiprocessBackend(DispatchBackend):
         """The chunksize actually handed to ``imap`` for a batch."""
         if self.chunksize is not None:
             return self.chunksize
-        return max(1, batch_size // (self.workers * 4))
+        return auto_chunksize(batch_size, self.workers)
 
     def _execute(self, specs, assembler, should_stop):
         ctx = multiprocessing.get_context()
@@ -232,9 +270,17 @@ BACKEND_NAMES = ("serial", "procs", "socket")
 
 
 def make_backend(
-    name: str, *, workers: int = 2, chunksize: int | None = None
+    name: str,
+    *,
+    workers: int = 2,
+    chunksize: int | None = None,
+    batch_size: int | None = None,
 ) -> DispatchBackend:
-    """Instantiate a backend by CLI name."""
+    """Instantiate a backend by CLI name.
+
+    ``chunksize`` applies to ``procs``; ``batch_size`` pins the socket
+    backend's per-assignment batch (``None`` keeps it adaptive).
+    """
     if name == "serial":
         return SerialBackend()
     if name == "procs":
@@ -242,7 +288,7 @@ def make_backend(
     if name == "socket":
         from .socket_pool import SocketBackend
 
-        return SocketBackend(workers=max(1, workers))
+        return SocketBackend(workers=max(1, workers), batch_size=batch_size)
     raise ConfigurationError(
         f"unknown dispatch backend {name!r}; pick from {BACKEND_NAMES}"
     )

@@ -1,8 +1,14 @@
 """Durable JSONL journal for sweep runs: append-only, replayable.
 
 One line per completed trial, flushed and fsynced before the dispatcher
-moves on, so a killed sweep loses at most the trial in flight.  The first
-line is a header carrying the sweep's configuration fingerprint;
+moves on, so a killed sweep loses at most the trials in flight.  This
+per-trial durability is also what makes the socket pool's *batched*
+redelivery safe: a batch whose worker died after some results were
+applied is requeued with the journalled/applied indices filtered out,
+and even a full redelivery only produces duplicates that replay's
+first-record-wins rule (and the assembler's at-most-once rule) drop.
+The first line is a header carrying the sweep's configuration
+fingerprint;
 ``--resume`` replays the journal, refuses a fingerprint mismatch (a
 journal from a *different* sweep must never be merged in), skips every
 completed index, and — because the records reconstruct the exact

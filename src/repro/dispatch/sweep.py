@@ -14,14 +14,19 @@ points and reseeds their trials — an extended grid is a *new* sweep
 (new fingerprint, fresh journal), not a superset of the old one.
 
 :class:`SweepRunner` drives the expansion through any
-:class:`~repro.dispatch.backend.DispatchBackend`, optionally journalling
-every completed trial (:mod:`repro.dispatch.journal`) and aggregating
-*streamingly* — per-point reports are rendered the moment a point's last
-trial lands, and :meth:`SweepState.partial_report` renders whatever has
-completed mid-sweep.  The final :class:`SweepReport` contains nothing
-backend-dependent, so a socket-pool sweep (killed, resumed, requeued —
-whatever happened on the way) serialises byte-identically to a serial
-uninterrupted run of the same spec and seed.
+:class:`~repro.dispatch.backend.DispatchBackend` as **one spec stream**:
+every point's trials go to the backend in a single
+:meth:`~repro.dispatch.backend.DispatchBackend.run` call, so a pooled
+backend keeps its workers warm across sweep points instead of paying
+startup per point, and per-point aggregation in :class:`SweepState` is
+completion-order-oblivious — a point's report renders the moment its
+last trial lands, whichever points' trials interleaved around it.
+Trials are optionally journalled (:mod:`repro.dispatch.journal`) and
+:meth:`SweepState.partial_report` renders whatever has completed
+mid-sweep.  The final :class:`SweepReport` contains nothing
+backend-dependent, so a socket-pool sweep (killed, resumed, requeued,
+re-batched — whatever happened on the way) serialises byte-identically
+to a serial uninterrupted run of the same spec and seed.
 """
 
 from __future__ import annotations

@@ -152,10 +152,11 @@ class MonteCarloRunner:
         which is also the fallback for environments without working
         ``multiprocessing``.
     chunksize:
-        Trials handed to a worker per dispatch.  ``None`` picks
-        ``max(1, trials // (workers * 4))`` — large enough to amortise
-        pickling, small enough to keep the pool balanced when trial wall
-        times vary.
+        Trials handed to a worker per dispatch.  ``None`` lets the
+        backend derive one with :func:`~repro.dispatch.backend.
+        auto_chunksize` from the batch it actually receives — large
+        enough to amortise per-dispatch IPC even on small grids, small
+        enough to keep the pool balanced when trial wall times vary.
     n, channels, t, pairs, adversary:
         Forwarded into every :class:`TrialSpec`.
     options:
@@ -208,10 +209,12 @@ class MonteCarloRunner:
 
     @property
     def effective_chunksize(self) -> int:
-        """The chunksize handed to the multiprocess backend's ``imap``."""
+        """The chunksize the multiprocess backend derives for this batch."""
         if self.chunksize is not None:
             return self.chunksize
-        return max(1, self.trials // (self.workers * 4))
+        from ..dispatch.backend import auto_chunksize
+
+        return auto_chunksize(self.trials, max(1, self.workers))
 
     def specs(self) -> list[TrialSpec]:
         """All trial specs, seeds derived from the trial index alone."""
@@ -250,9 +253,11 @@ class MonteCarloRunner:
 
         specs = self.specs()
         if backend is None:
-            backend = default_backend(
-                self.workers, chunksize=self.effective_chunksize
-            )
+            # Hand the raw (possibly None) chunksize down: the backend
+            # derives an effective one from the batch it actually runs,
+            # which is this runner's full trial count — not a per-point
+            # slice of some larger sweep.
+            backend = default_backend(self.workers, chunksize=self.chunksize)
         return self.aggregate(backend.run(specs))
 
     def aggregate(self, results: Sequence[TrialResult]) -> MonteCarloReport:

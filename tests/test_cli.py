@@ -118,6 +118,13 @@ class TestSweepCommand:
         assert args.nodes == [20] and args.adversaries == ["schedule"]
         assert args.backend == "serial" and args.trials == 20
         assert args.journal is None and not args.resume
+        assert args.batch_size is None  # adaptive unless pinned
+
+    def test_batch_size_flag_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--backend", "socket", "--batch-size", "16"]
+        )
+        assert args.batch_size == 16
 
     def test_grid_axes_parse_comma_lists(self):
         args = build_parser().parse_args(

@@ -124,6 +124,21 @@ class TestBackends:
         assert MultiprocessBackend(2).effective_chunksize(64) == 8
         assert MultiprocessBackend(2, chunksize=3).effective_chunksize(64) == 3
 
+    def test_auto_chunksize_small_grids(self):
+        from repro.dispatch.backend import MIN_AUTO_CHUNK, auto_chunksize
+
+        # Large batches: the classic workers*4 oversubscription split.
+        assert auto_chunksize(64, 2) == 8
+        assert auto_chunksize(1024, 8) == 32
+        # Small grids used to degenerate to chunksize 1 (a dispatch per
+        # trial); now they floor at MIN_AUTO_CHUNK ...
+        assert auto_chunksize(16, 4) == MIN_AUTO_CHUNK
+        # ... but never so large that a worker sits idle from the start.
+        assert auto_chunksize(6, 4) == 2  # ceil(6/4), not MIN_AUTO_CHUNK
+        assert auto_chunksize(1, 4) == 1
+        # The backend derives from the actual dispatched batch size.
+        assert MultiprocessBackend(4).effective_chunksize(16) == MIN_AUTO_CHUNK
+
     def test_default_backend_shape(self):
         assert isinstance(default_backend(1), SerialBackend)
         assert isinstance(default_backend(4), MultiprocessBackend)

@@ -22,11 +22,15 @@ from repro.dispatch import (
     SweepSpec,
 )
 from repro.dispatch.socket_pool import (
+    INITIAL_BATCH,
     PROTOCOL_VERSION,
     FrameDecoder,
     parse_endpoint,
     recv_frame,
     send_frame,
+    spec_context,
+    spec_from_context,
+    unapplied_specs,
     worker_main,
 )
 from repro.errors import ConfigurationError, DispatchError, SweepInterrupted
@@ -81,6 +85,58 @@ class TestFraming:
             parse_endpoint("host:nan")
 
 
+class TestBatching:
+    """Unit coverage for the v2 batching machinery (no sockets)."""
+
+    def test_spec_context_round_trip(self):
+        for spec in make_runner(trials=3, channels=3, t=2).specs():
+            ctx = spec_context(spec)
+            assert spec_from_context(ctx, spec.index, spec.seed) == spec
+
+    def test_unapplied_specs_filters_applied_indices(self):
+        specs = make_runner(trials=6).specs()
+        in_flight = {s.index: s for s in specs[:4]}
+        # Indices 1 and 3 already have results; 0 and 2 are still missing
+        # (index 5 is missing too but was never in flight here).
+        requeue = unapplied_specs(in_flight, [0, 2, 5])
+        assert requeue == [specs[0], specs[2]]
+
+    def test_next_batch_size_pinned(self):
+        backend = SocketBackend(workers=2, batch_size=7)
+        assert backend._next_batch_size(100, 2) == 7
+        assert backend._next_batch_size(3, 2) == 3  # capped by pending
+        assert backend._next_batch_size(0, 2) == 0
+
+    def test_next_batch_size_starts_small_then_adapts(self):
+        backend = SocketBackend(workers=2)
+        assert backend._next_batch_size(1000, 2) == INITIAL_BATCH
+        backend._observe_batch(0.05, 10)  # 5 ms/trial observed
+        # target 0.25s / 5ms = 50 trials, but fair share over
+        # 2 workers * window 2 = 4 slots caps it at ceil(1000/4).
+        assert backend._next_batch_size(1000, 2) == 50
+        assert backend._next_batch_size(100, 2) == 25  # fair-share cap
+
+    def test_next_batch_size_never_zero_for_slow_trials(self):
+        backend = SocketBackend(workers=2)
+        backend._observe_batch(10.0, 1)  # 10 s/trial
+        assert backend._next_batch_size(100, 2) == 1
+
+    def test_observe_batch_ewma(self):
+        backend = SocketBackend(workers=2)
+        backend._observe_batch(1.0, 1)
+        assert backend._trial_cost == pytest.approx(1.0)
+        backend._observe_batch(0.5, 1)
+        assert backend._trial_cost == pytest.approx(0.75)
+        backend._observe_batch(None, 1)  # frame without elapsed: ignored
+        assert backend._trial_cost == pytest.approx(0.75)
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            SocketBackend(workers=2, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            SocketBackend(workers=2, window=0)
+
+
 class TestSocketBackendEndToEnd:
     def test_two_real_workers_match_serial(self):
         specs = make_runner(trials=4).specs()
@@ -116,9 +172,31 @@ class TestSocketBackendEndToEnd:
         with pytest.raises(DispatchError):
             backend.run(specs, on_result=kill_all)
 
+    def test_warm_pool_reused_across_runs(self):
+        specs_a = make_runner(trials=4).specs()
+        specs_b = make_runner(trials=4, seed=11).specs()
+        serial_a = SerialBackend().run(specs_a)
+        serial_b = SerialBackend().run(specs_b)
+        backend = SocketBackend(
+            workers=2, accept_timeout=60.0, keep_alive=True
+        )
+        try:
+            assert backend.warm_up(timeout=60.0) == 2
+            spawned = list(backend.spawned)
+            assert backend.run(specs_a) == serial_a
+            # keep_alive: the pool survives the run ...
+            assert backend.pool_open
+            assert backend.run(specs_b) == serial_b
+            # ... and the second run reused the same worker processes.
+            assert backend.spawned == spawned
+        finally:
+            backend.close()
+        assert not backend.pool_open
+        assert [p.wait(timeout=10) for p in spawned] == [0, 0]
+
 
 class _FakeWorker(threading.Thread):
-    """A hand-rolled worker speaking the wire protocol from this thread."""
+    """A hand-rolled worker speaking protocol v2 from this thread."""
 
     def __init__(self, port: int, *, protocol=PROTOCOL_VERSION,
                  duplicate_results=False):
@@ -127,6 +205,7 @@ class _FakeWorker(threading.Thread):
         self.protocol = protocol
         self.duplicate_results = duplicate_results
         self.greeting = None
+        self.batch_sizes: list[int] = []
 
     def run(self) -> None:
         from repro.experiments.workloads import run_trial
@@ -139,14 +218,27 @@ class _FakeWorker(threading.Thread):
             self.greeting = recv_frame(sock)
             if self.greeting.get("kind") != "welcome":
                 return
+            contexts = None
             while True:
                 frame = recv_frame(sock)
                 if frame["kind"] == "shutdown":
                     return
-                result = run_trial(frame["spec"])
-                send_frame(sock, {"kind": "result", "result": result})
+                if frame["kind"] == "contexts":
+                    contexts = frame["contexts"]
+                    continue
+                trials = frame["trials"]
+                self.batch_sizes.append(len(trials))
+                reply = {
+                    "kind": "results",
+                    "results": [
+                        run_trial(spec_from_context(contexts[c], i, s))
+                        for c, i, s in trials
+                    ],
+                    "elapsed": 0.01,
+                }
+                send_frame(sock, reply)
                 if self.duplicate_results:
-                    send_frame(sock, {"kind": "result", "result": result})
+                    send_frame(sock, reply)
         except (EOFError, OSError):
             pass
         finally:
@@ -237,9 +329,9 @@ class TestWorkerMain:
         finally:
             listener.close()
 
-    def test_worker_runs_tasks_until_shutdown(self):
-        spec = make_runner(trials=1).specs()[0]
-        expected = SerialBackend().run([spec])[0]
+    def test_worker_runs_batches_until_shutdown(self):
+        specs = make_runner(trials=2).specs()
+        expected = SerialBackend().run(specs)
         listener = socket.socket()
         listener.bind(("127.0.0.1", 0))
         listener.listen()
@@ -250,8 +342,18 @@ class TestWorkerMain:
             conn, _ = listener.accept()
             got["hello"] = recv_frame(conn)
             send_frame(conn, {"kind": "welcome"})
-            send_frame(conn, {"kind": "task", "spec": spec})
-            got["result"] = recv_frame(conn)
+            send_frame(
+                conn,
+                {"kind": "contexts", "contexts": [spec_context(specs[0])]},
+            )
+            send_frame(
+                conn,
+                {
+                    "kind": "batch",
+                    "trials": [(0, s.index, s.seed) for s in specs],
+                },
+            )
+            got["results"] = recv_frame(conn)
             send_frame(conn, {"kind": "shutdown"})
             conn.close()
 
@@ -263,11 +365,80 @@ class TestWorkerMain:
             thread.join(timeout=30)
             listener.close()
         assert got["hello"]["protocol"] == PROTOCOL_VERSION
-        assert got["result"]["result"] == expected
+        assert got["results"]["kind"] == "results"
+        # One merged frame for the whole batch, with its compute time.
+        assert got["results"]["results"] == expected
+        assert got["results"]["elapsed"] > 0
+
+    def test_worker_batch_before_contexts_exits_1(self):
+        spec = make_runner(trials=1).specs()[0]
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        port = listener.getsockname()[1]
+
+        def coordinator() -> None:
+            conn, _ = listener.accept()
+            recv_frame(conn)
+            send_frame(conn, {"kind": "welcome"})
+            send_frame(
+                conn,
+                {"kind": "batch", "trials": [(0, spec.index, spec.seed)]},
+            )
+            conn.close()
+
+        thread = threading.Thread(target=coordinator, daemon=True)
+        thread.start()
+        try:
+            assert worker_main("127.0.0.1", port, retry_seconds=5.0) == 1
+        finally:
+            thread.join(timeout=30)
+            listener.close()
 
 
 class TestKillAndResumeAcceptance:
     """The ISSUE acceptance scenario, end to end on localhost."""
+
+    def test_mid_batch_kill_journals_every_index_exactly_once(
+        self, tmp_path
+    ):
+        """Batched redelivery: a worker killed while holding multi-trial
+        batches (some of whose indices are already journalled) must not
+        make any index run twice into the journal, and the finished
+        report must still match serial byte-for-byte."""
+        spec = SweepSpec(ns=(N,), trials=8, seed=7, pairs=4)
+        reference = SweepRunner(spec).run().as_dict()
+
+        journal = tmp_path / "sweep.jsonl"
+        backend = SocketBackend(
+            workers=2, accept_timeout=60.0, batch_size=2
+        )
+        runner = SweepRunner(
+            spec, backend=backend, journal_path=str(journal)
+        )
+        killed = []
+        original_add = runner.state.add
+
+        def add_and_kill(result):
+            # Kill a worker on the first durable result: its remaining
+            # in-flight batches get requeued with this (journalled)
+            # index filtered out.
+            if not killed and backend.spawned:
+                backend.spawned[0].kill()
+                killed.append(True)
+            return original_add(result)
+
+        runner.state.add = add_and_kill
+        report = runner.run()
+        assert killed, "a worker should have been killed mid-run"
+        assert json.dumps(report.as_dict(), sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+        indices = [
+            json.loads(line)["index"]
+            for line in journal.read_text().splitlines()[1:]
+        ]
+        assert sorted(indices) == list(range(8))  # each exactly once
 
     def test_killed_worker_plus_resume_matches_serial_uninterrupted(
         self, tmp_path
