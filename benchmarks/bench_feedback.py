@@ -20,6 +20,12 @@ counts is asserted before any timing, then rounds/sec and per-invocation
 payload units are compared.  ``--delta`` runs only that comparison (the CI
 delta smoke), failing if the speedup drops below ``--min-delta-speedup``
 or the delta path stops shrinking payloads.
+
+``--draws`` isolates the hop sampler itself: whole hop matrices drawn via
+:class:`repro.rng.BlockDrawer` against the historical sequential
+``draw_uniform_indices`` loop, with byte identity (values and post-draw
+generator state) asserted on seeded stream copies before timing; the CI
+smoke fails if the block speedup drops below ``--min-draw-speedup``.
 """
 
 from __future__ import annotations
@@ -40,7 +46,8 @@ from repro.feedback.parallel import run_parallel_feedback
 from repro.feedback.protocol import run_feedback
 from repro.feedback.witness import WitnessAssignment
 from repro.params import ProtocolParameters, log2n
-from repro.rng import RngRegistry
+from repro.radio import ScheduleShapeCache
+from repro.rng import BlockDrawer, RngRegistry, draw_uniform_indices
 
 from bench_common import make_network, report
 
@@ -126,7 +133,7 @@ def test_e2_table(benchmark):
 # ---------------------------------------------------------------------------
 
 
-def _serial_workload(n: int, t: int, seed: int, compiled: bool):
+def _serial_workload(n: int, t: int, seed: int, compiled: bool, shape_cache=None):
     """One full serial feedback invocation; returns (rounds, D-map)."""
     channels = t + 1
     net = make_network(
@@ -145,11 +152,12 @@ def _serial_workload(n: int, t: int, seed: int, compiled: bool):
         list(range(n)),
         RngRegistry(seed=seed),
         compiled=compiled,
+        shape_cache=shape_cache,
     )
     return net.metrics.rounds, out
 
 
-def _parallel_workload(n: int, t: int, seed: int, compiled: bool):
+def _parallel_workload(n: int, t: int, seed: int, compiled: bool, shape_cache=None):
     """One full parallel-merge invocation; returns (rounds, D-map)."""
     block = 2 * t
     slots = 4
@@ -168,6 +176,7 @@ def _parallel_workload(n: int, t: int, seed: int, compiled: bool):
         list(range(n)),
         RngRegistry(seed=seed),
         compiled=compiled,
+        shape_cache=shape_cache,
     )
     return net.metrics.rounds, out
 
@@ -212,12 +221,22 @@ def _delta_workload(n: int, t: int, seed: int, delta: bool):
 
 
 def _rounds_per_sec(workload, n, t, *, compiled, min_seconds):
-    """Wall-clock rounds/sec of repeated full invocations."""
+    """Wall-clock rounds/sec of repeated full invocations.
+
+    The compiled path holds one :class:`ScheduleShapeCache` across the
+    invocations — the steady-state caller representation (the f-AME
+    protocol object and the baseline drivers keep a cache for exactly
+    this reason), so the timing covers warm-shape reuse rather than
+    rebuilding bucket blocks and stream tables from scratch every call.
+    """
+    shapes = ScheduleShapeCache() if compiled else None
     start = time.perf_counter()
     rounds = 0
     invocations = 0
     while True:
-        done, _ = workload(n, t, seed=invocations, compiled=compiled)
+        done, _ = workload(
+            n, t, seed=invocations, compiled=compiled, shape_cache=shapes
+        )
         rounds += done
         invocations += 1
         elapsed = time.perf_counter() - start
@@ -237,6 +256,59 @@ def _delta_rounds_per_sec(n, t, *, delta, min_seconds):
         elapsed = time.perf_counter() - start
         if elapsed >= min_seconds:
             return rounds / elapsed
+
+
+def _draws_per_sec(draw_matrix, streams, count, min_seconds):
+    """Wall-clock hop draws/sec of repeated whole-matrix materializations.
+
+    The streams are created once and keep advancing — both samplers
+    consume the identical ``getrandbits`` sequence (the module invariant),
+    so the measurement isolates draw mechanics from stream construction.
+    """
+    start = time.perf_counter()
+    draws = 0
+    per_pass = len(streams) * count
+    while True:
+        draw_matrix(streams, count)
+        draws += per_pass
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return draws / elapsed
+
+
+def run_draw_suite(sizes: list[int], t: int, min_seconds: float) -> dict:
+    """Isolated hop sampling: block draws vs the sequential loop.
+
+    One "matrix" is the serial pipeline's unit of work — ``count`` hops
+    for each of ``n`` listener streams over ``t + 1`` channels.  Byte
+    identity (values AND post-draw generator state) is asserted on seeded
+    stream copies before anything is timed.
+    """
+    nchan = t + 1
+    count = 64
+    drawer = BlockDrawer(nchan)
+
+    def loop_matrix(streams, count):
+        return [draw_uniform_indices(s, nchan, count) for s in streams]
+
+    results: dict = {}
+    for n in sizes:
+        a = [random.Random(s) for s in range(n)]
+        b = [random.Random(s) for s in range(n)]
+        assert drawer.matrix(a, count) == loop_matrix(b, count), (
+            f"block/loop draw divergence at n={n}"
+        )
+        assert [s.getstate() for s in a] == [s.getstate() for s in b], (
+            f"block/loop generator-state divergence at n={n}"
+        )
+        loop = _draws_per_sec(loop_matrix, a, count, min_seconds)
+        block = _draws_per_sec(drawer.matrix, b, count, min_seconds)
+        results[str(n)] = {
+            "loop_draws_per_sec": round(loop, 1),
+            "block_draws_per_sec": round(block, 1),
+            "speedup": round(block / loop, 2),
+        }
+    return results
 
 
 def run_delta_suite(sizes: list[int], t: int, min_seconds: float) -> dict:
@@ -337,6 +409,19 @@ def main(argv: list[str] | None = None) -> int:
         "below this",
     )
     parser.add_argument(
+        "--draws",
+        action="store_true",
+        help="run only the isolated hop-draw microbenchmark (block vs "
+        "loop sampler, byte identity asserted before timing)",
+    )
+    parser.add_argument(
+        "--min-draw-speedup",
+        type=float,
+        default=1.1,
+        help="fail (exit 1) if the largest-n block-draw speedup drops "
+        "below this",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=Path(__file__).parent / "BENCH_feedback.json",
@@ -346,17 +431,25 @@ def main(argv: list[str] | None = None) -> int:
 
     t = 3
     sizes = [256] if args.quick else [256, 1024]
-    min_seconds = 0.3 if args.quick else 1.5
+    # Full-mode windows are long enough to average over host frequency /
+    # contention cycles; short windows were observed to swing same-code
+    # measurements by ±40% on shared machines.
+    min_seconds = 0.3 if args.quick else 3.0
     n_max = str(max(sizes))
 
     # The plain --quick smoke keeps its historical scope (the compiled
-    # pipeline); the encoding comparison runs under --delta (its own CI
-    # smoke) and in full baseline regenerations.
+    # pipeline); the encoding comparison runs under --delta and the hop
+    # sampler under --draws (each its own CI smoke), and everything runs
+    # in full baseline regenerations.
+    only_suite = args.delta or args.draws
     delta_results = None
-    if args.delta or not args.quick:
+    if args.delta or not (args.quick or only_suite):
         delta_results = run_delta_suite(sizes, t, min_seconds)
+    draw_results = None
+    if args.draws or not (args.quick or only_suite):
+        draw_results = run_draw_suite(sizes, t, min_seconds)
     results = None
-    if not args.delta:
+    if not only_suite:
         results = run_pipeline_suite(sizes, t, min_seconds)
         for section, rows in results.items():
             print(f"\n=== {section} ===")
@@ -367,6 +460,12 @@ def main(argv: list[str] | None = None) -> int:
     if delta_results is not None:
         print("\n=== parallel_feedback_delta_rounds_per_sec ===")
         for n, row in delta_results.items():
+            cells = "  ".join(f"{k}={v}" for k, v in row.items())
+            print(f"  n={n:>5}  {cells}")
+
+    if draw_results is not None:
+        print("\n=== hop_draws_per_sec ===")
+        for n, row in draw_results.items():
             cells = "  ".join(f"{k}={v}" for k, v in row.items())
             print(f"  n={n:>5}  {cells}")
 
@@ -383,14 +482,19 @@ def main(argv: list[str] | None = None) -> int:
                 "C=32t channels, RandomJammer, validation gated off; delta "
                 "vs full-frame wire encoding, both compiled "
                 "(see _delta_workload)",
-                "equivalence": "seeded compiled vs per-round outputs, and "
+                "draws": "isolated hop sampling: 64 hops per stream over "
+                "t+1 channels for n streams, block drawer vs sequential "
+                "draw_uniform_indices loop (see run_draw_suite)",
+                "equivalence": "seeded compiled vs per-round outputs, "
                 "seeded delta vs full-frame D maps/rounds/payload "
-                "reduction, asserted identical before timing",
+                "reduction, and block vs loop draw values + generator "
+                "state, asserted identical before timing",
             },
             "python": platform.python_version(),
             "results": {
                 **results,
                 "parallel_feedback_delta_rounds_per_sec": delta_results,
+                "hop_draws_per_sec": draw_results,
             },
         }
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
@@ -410,6 +514,18 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"\nOK: delta-frame speedup at n={n_max} is {delta_speedup}x"
             )
+
+    if draw_results is not None:
+        draw_speedup = draw_results[n_max]["speedup"]
+        if draw_speedup < args.min_draw_speedup:
+            print(
+                f"FAIL: block-draw speedup at n={n_max} is {draw_speedup}x "
+                f"(< {args.min_draw_speedup}x floor)",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"OK: block-draw speedup at n={n_max} is {draw_speedup}x")
 
     if results is not None:
         speedup = results["serial_feedback_rounds_per_sec"][n_max]["speedup"]

@@ -32,6 +32,7 @@ from ..feedback.witness import WitnessAssignment
 from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import RadioNetwork, RoundMeta
+from ..radio.shapes import ScheduleShapeCache
 from ..rng import RngRegistry
 
 NOSURROGATE_KIND = "nosurrogate-data"
@@ -97,6 +98,8 @@ def run_no_surrogate(
     moves = 0
     divergence_events = 0
     max_moves = 3 * len(edges) + t + 2
+    # Every move's feedback phase shares one geometry; reuse its shape.
+    shape_cache = ScheduleShapeCache()
 
     while True:
         batch = _matching_proposal(pending, network.channels)
@@ -161,6 +164,7 @@ def run_no_surrogate(
             rng,
             phase="feedback",
             rng_namespace="nosurrogate-feedback",
+            shape_cache=shape_cache,
         )
         counts = Counter(frozenset(d) for d in outputs.values())
         majority, _ = counts.most_common(1)[0]

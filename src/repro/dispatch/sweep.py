@@ -45,7 +45,7 @@ from ..experiments.workloads import (
     WORKLOAD_USES_ADVERSARY,
     WORKLOADS,
 )
-from ..rng import RngRegistry
+from ..rng import derive_seed, derive_seeds
 from .backend import DispatchBackend, SerialBackend
 from .journal import SweepJournal
 
@@ -159,12 +159,19 @@ class SweepSpec:
 
     def trial_spec(self, point: SweepPoint, trial_index: int) -> TrialSpec:
         """Trial ``trial_index`` of ``point`` — seed from the coordinates."""
+        return self._trial_spec(
+            point,
+            trial_index,
+            derive_seed(self.seed, "spawn", "sweep", point.point_index, trial_index),
+        )
+
+    def _trial_spec(
+        self, point: SweepPoint, trial_index: int, seed: int
+    ) -> TrialSpec:
         return TrialSpec(
             workload=point.workload,
             index=point.point_index * self.trials + trial_index,
-            seed=RngRegistry(seed=self.seed)
-            .spawn("sweep", point.point_index, trial_index)
-            .seed,
+            seed=seed,
             n=point.n,
             channels=point.channels,
             t=point.t,
@@ -174,11 +181,20 @@ class SweepSpec:
         )
 
     def specs(self) -> list[TrialSpec]:
-        """Every trial of every point, global-index order."""
+        """Every trial of every point, global-index order.
+
+        Seeds come from the bulk :func:`repro.rng.derive_seeds` helper —
+        one hashlib loop per grid point, no per-trial registries —
+        identical to the per-call :meth:`trial_spec` path.
+        """
         return [
-            self.trial_spec(point, j)
+            self._trial_spec(point, j, seed)
             for point in self.points()
-            for j in range(self.trials)
+            for j, seed in enumerate(
+                derive_seeds(
+                    self.seed, "sweep", point.point_index, count=self.trials
+                )
+            )
         ]
 
     # ------------------------------------------------------------------

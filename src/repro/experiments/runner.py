@@ -37,7 +37,7 @@ from ..analysis.stats import (
 )
 from ..errors import ConfigurationError
 from ..radio.metrics import NetworkMetrics
-from ..rng import RngRegistry
+from ..rng import derive_seeds
 from .trial import TrialResult, TrialSpec
 from .workloads import ADVERSARY_FACTORIES, WORKLOADS
 
@@ -218,12 +218,14 @@ class MonteCarloRunner:
 
     def specs(self) -> list[TrialSpec]:
         """All trial specs, seeds derived from the trial index alone."""
-        root = RngRegistry(seed=self.seed)
+        # Bulk derivation: one hashlib loop, no per-trial registries;
+        # identical to RngRegistry(seed).spawn("trial", i).seed per index.
+        seeds = derive_seeds(self.seed, "trial", count=self.trials)
         return [
             TrialSpec(
                 workload=self.workload,
                 index=i,
-                seed=root.spawn("trial", i).seed,
+                seed=seeds[i],
                 n=self.n,
                 channels=self.channels,
                 t=self.t,

@@ -19,7 +19,7 @@ from typing import Any
 
 from ..analysis.disruption import disruptability
 from ..radio.metrics import NetworkMetrics
-from ..rng import RngRegistry
+from ..rng import derive_seed
 
 
 def trial_seed(master_seed: int, index: int) -> int:
@@ -27,9 +27,12 @@ def trial_seed(master_seed: int, index: int) -> int:
 
     Seeds are derived from the trial *index*, never from execution order,
     so a trial's randomness is identical whether it runs serially, in any
-    worker process, or is replayed alone for debugging.
+    worker process, or is replayed alone for debugging.  Computed as one
+    direct :func:`repro.rng.derive_seed` hash (no intermediate registry);
+    planners deriving many seeds at once should use the bulk
+    :func:`repro.rng.derive_seeds` instead.
     """
-    return RngRegistry(seed=master_seed).spawn("trial", index).seed
+    return derive_seed(master_seed, "spawn", "trial", index)
 
 
 @dataclass(frozen=True)

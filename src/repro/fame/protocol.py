@@ -61,6 +61,7 @@ from ..radio.network import (
     RoundMeta,
     RoundSchedule,
 )
+from ..radio.shapes import ScheduleShapeCache
 from ..rng import RngRegistry
 from .config import FameConfig, make_config
 from .result import FameResult, PairOutcome
@@ -152,6 +153,10 @@ class FameProtocol:
             raise ProtocolViolation(f"pairs without messages: {missing[:4]}")
         self.rng = rng or RngRegistry(seed=0)
         self.dense_actions = dense_actions
+        # One schedule-shape cache for the whole run: every move's feedback
+        # phase has the same (participants, channels, repetitions) geometry,
+        # so buckets/metadata/stream tables are built once and recycled.
+        self._shape_cache = ScheduleShapeCache()
 
         # Game state: one canonical graph with live greedy pools, plus one
         # O(1) state fingerprint per node standing in for its full replica.
@@ -265,6 +270,8 @@ class FameProtocol:
                 phase="feedback-parallel",
                 compiled=not self.dense_actions,
                 delta_frames=not self.dense_actions,
+                block_draws=not self.dense_actions,
+                shape_cache=None if self.dense_actions else self._shape_cache,
             )
         return run_feedback(
             self.network,
@@ -274,6 +281,8 @@ class FameProtocol:
             self.rng,
             phase="feedback",
             compiled=not self.dense_actions,
+            block_draws=not self.dense_actions,
+            shape_cache=None if self.dense_actions else self._shape_cache,
         )
 
     def _agree_on_referee(

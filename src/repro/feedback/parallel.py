@@ -52,7 +52,8 @@ from ..errors import ConfigurationError
 from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import DELTA_KIND, DeltaFrame, Message
 from ..radio.network import CompiledRound, RadioNetwork, RoundMeta, RoundSchedule
-from ..rng import RngRegistry, draw_uniform_indices
+from ..radio.shapes import ScheduleShapeCache
+from ..rng import BlockDrawer, RngRegistry, draw_uniform_indices
 
 MERGE_KIND = "feedback-merge"
 
@@ -292,6 +293,8 @@ def _run_transfer_rounds(
     rng_namespace: object,
     compiled: bool = True,
     delta_state: DeltaApplyState | None = None,
+    block_draws: bool = True,
+    shapes: ScheduleShapeCache | None = None,
 ) -> None:
     """Run ``repetitions`` rounds of simultaneous directed transfers.
 
@@ -308,9 +311,15 @@ def _run_transfer_rounds(
     one :class:`RoundSchedule`: the broadcaster assignment is a static
     template (each knowledge frame built once, not once per repetition —
     the frames of one transfer are identical across rounds), each
-    listener's block-hop sequence is drawn up front from its stream, and
-    results fold back per decoded channel.  ``compiled=False`` replays the
-    historical per-round loop; the two are byte-identical on seeded runs.
+    listener's whole block-hop sequence is materialized up front with the
+    batched :class:`~repro.rng.BlockDrawer` (``block_draws=False`` replays
+    the per-draw reference sampler — byte-identical either way), and
+    results fold back per decoded channel.  Round metadata and the
+    per-round listener buckets come from ``shapes`` (a fresh ephemeral
+    cache when the caller passes none) and are recycled in place across
+    invocations with the same geometry.  ``compiled=False`` replays the
+    historical per-round loop; all paths are byte-identical on seeded
+    runs.
     """
     used_channels: set[int] = set()
     for broadcasters, _, block, _, _ in transfers:
@@ -340,49 +349,58 @@ def _run_transfer_rounds(
         )
         return
 
-    meta = RoundMeta(phase=phase, extra={"tag": tag})
+    if shapes is None:
+        shapes = ScheduleShapeCache()
+    meta = shapes.meta(phase, tag=tag)
+    buckets = shapes.buckets(tuple(used_channels), repetitions)
+    rows = buckets.rows
+    channel_pos = buckets.index
     template: dict[int, Transmit] = {}
-    hop_choices: list[tuple[int, list[int]]] = []  # (listener, per-rep hops)
+    listen_total = 0
     for broadcasters, listeners, block, knowledge, delta in transfers:
         for idx, channel in enumerate(block):
             template[broadcasters[idx]] = Transmit(
                 channel,
                 _build_frame(broadcasters[idx], tag, knowledge, delta),
             )
-        # Draw each listener's whole hop sequence up front (choice-stream
-        # compatible; see draw_uniform_indices).
+        # Materialize each listener's whole hop sequence (choice-stream
+        # compatible; see the invariant in repro.rng) and transpose it
+        # straight into the pre-allocated per-round buckets.  Hops are
+        # drawn as indices *within the block* and mapped to bucket
+        # positions, so the fill indexes lists instead of hashing
+        # channel ids.
         block_list = list(block)
         nblock = len(block_list)
-        for node in listeners:
-            stream = rng.stream(rng_namespace, "merge-listen", node)
-            hop_choices.append(
-                (
-                    node,
-                    [
-                        block_list[i]
-                        for i in draw_uniform_indices(
-                            stream, nblock, repetitions
-                        )
-                    ],
-                )
+        if block_draws:
+            draw = BlockDrawer(nblock).draw
+        else:
+            draw = lambda stream, count: draw_uniform_indices(  # noqa: E731
+                stream, nblock, count
             )
-
-    listen_total = len(hop_choices)
-    compiled_rounds: list[CompiledRound] = []
-    fanouts: list[dict[int, list[int]]] = []
-    for rep in range(repetitions):
-        by_channel: dict[int, list[int]] = {c: [] for c in used_channels}
-        for node, choices in hop_choices:
-            by_channel[choices[rep]].append(node)
-        compiled_rounds.append(
-            CompiledRound(
-                transmits=template,
-                listens=by_channel,
-                meta=meta,
-                listen_count=listen_total,
-            )
+        # One bucket view per round in block order: selecting buckets by
+        # raw hop index here keeps the per-hop loop below to a single
+        # list index + append, amortized over every listener.
+        bucket_rows = [
+            [row[channel_pos[c]] for c in block_list] for row in rows
+        ]
+        streams = shapes.streams(
+            rng, rng_namespace, "merge-listen", listeners
         )
-        fanouts.append(by_channel)
+        for node, stream in zip(listeners, streams):
+            for row, hop in zip(bucket_rows, draw(stream, repetitions)):
+                row[hop].append(node)
+        listen_total += len(streams)
+
+    fanouts: list[dict[int, list[int]]] = buckets.listens
+    compiled_rounds: list[CompiledRound] = [
+        CompiledRound(
+            transmits=template,
+            listens=by_channel,
+            meta=meta,
+            listen_count=listen_total,
+        )
+        for by_channel in fanouts
+    ]
 
     heard_per_round = network.execute_schedule(RoundSchedule(compiled_rounds))
 
@@ -500,6 +518,8 @@ def run_parallel_feedback(
     compiled: bool = True,
     delta_frames: bool = True,
     delta_state: DeltaApplyState | None = None,
+    block_draws: bool = True,
+    shape_cache: ScheduleShapeCache | None = None,
 ) -> dict[int, set[int]]:
     """Merge per-slot flags through a parallel-prefix tree; return each
     participant's ``D`` (slot indices whose flag is true).
@@ -518,12 +538,19 @@ def run_parallel_feedback(
     apply/skip/resync counters afterwards; states are single-use — reuse
     across invocations raises, because repeated digests would be skipped
     as already applied — and by default one is created per invocation.
+
+    ``block_draws`` and ``shape_cache`` mirror :func:`run_feedback`:
+    batched vs per-draw hop sampling (byte-identical either way) and an
+    optional cross-invocation shape cache.  Within one invocation the
+    merge tree always shares one cache, so the per-level transfer rounds
+    recycle buckets and metadata even when the caller passes none.
     """
     t = network.t
     block_size = max(1, 2 * t)
     slots = len(witness_sets)
     if slots == 0:
         return {node: set() for node in participants}
+    shapes = shape_cache if shape_cache is not None else ScheduleShapeCache()
 
     if delta_frames:
         from ..fame.digests import combine_digests, slot_set_digest
@@ -608,6 +635,8 @@ def run_parallel_feedback(
                 rng_namespace=(rng_namespace, level, direction),
                 compiled=compiled,
                 delta_state=delta_state,
+                block_draws=block_draws,
+                shapes=shapes,
             )
         next_groups: list[_Group] = []
         for left, right in pairs:
@@ -652,6 +681,8 @@ def run_parallel_feedback(
             rng_namespace=(rng_namespace, "final"),
             compiled=compiled,
             delta_state=delta_state,
+            block_draws=block_draws,
+            shapes=shapes,
         )
 
     return {

@@ -25,10 +25,17 @@ depends on nothing observed during the phase.  The default path therefore
 templates plus per-round listener groups drawn from each listener's RNG
 stream up front — and submits it through
 :meth:`~repro.radio.network.RadioNetwork.execute_schedule`, folding the
-per-channel results back into the output sets.  ``compiled=False`` replays
-the historical one-``execute_round``-per-repetition loop; seeded runs of
-the two paths are byte-identical (same RNG stream consumption, same
-metrics, same traces), which `tests/test_feedback_pipeline.py` enforces.
+per-channel results back into the output sets.  Hop sequences are
+materialized in blocks by :class:`~repro.rng.BlockDrawer` (byte-identical
+to the per-draw chain — the invariant lives in ``repro.rng``;
+``block_draws=False`` replays the per-draw sampler), and the per-round
+listener buckets, round metadata, transmitter templates and listener
+stream tables come from a :class:`~repro.radio.ScheduleShapeCache` so
+long-lived callers reuse schedule *shape* across invocations.
+``compiled=False`` replays the historical
+one-``execute_round``-per-repetition loop; seeded runs of all paths are
+byte-identical (same RNG stream consumption, same metrics, same traces),
+which `tests/test_feedback_pipeline.py` enforces.
 """
 
 from __future__ import annotations
@@ -39,7 +46,8 @@ from ..errors import ConfigurationError
 from ..radio.actions import Action, Listen, Transmit
 from ..radio.messages import Message
 from ..radio.network import CompiledRound, RadioNetwork, RoundMeta, RoundSchedule
-from ..rng import RngRegistry, draw_uniform_indices
+from ..radio.shapes import ScheduleShapeCache
+from ..rng import BlockDrawer, RngRegistry, draw_uniform_indices
 from .witness import WitnessAssignment
 
 FEEDBACK_KIND = "feedback"
@@ -67,6 +75,8 @@ def run_feedback(
     phase: str = "feedback",
     rng_namespace: object = "feedback",
     compiled: bool = True,
+    block_draws: bool = True,
+    shape_cache: ScheduleShapeCache | None = None,
 ) -> dict[int, set[int]]:
     """Execute one communication-feedback invocation.
 
@@ -98,6 +108,20 @@ def run_feedback(
         :class:`~repro.radio.network.RoundSchedule` and execute it in bulk;
         when ``False``, replay the historical per-round loop.  Both paths
         are byte-identical on seeded runs.
+    block_draws:
+        When ``True`` (default), the compiled path materializes each
+        listener's hop sequence with the batched
+        :class:`~repro.rng.BlockDrawer`; ``False`` replays the per-draw
+        :func:`~repro.rng.draw_uniform_indices` chain (the reference
+        sampler).  Byte-identical either way — the escape hatch exists so
+        the equivalence gauntlets can exercise both samplers in situ.
+        Ignored when ``compiled=False``.
+    shape_cache:
+        Optional :class:`~repro.radio.shapes.ScheduleShapeCache` shared
+        across invocations with the same geometry (templates, round
+        metadata, listener buckets and stream tables are then reused
+        instead of rebuilt).  Defaults to a fresh per-invocation cache;
+        observable behaviour is identical either way.
 
     Returns
     -------
@@ -135,6 +159,8 @@ def run_feedback(
             phase,
             rng_namespace,
             outputs,
+            shape_cache if shape_cache is not None else ScheduleShapeCache(),
+            block_draws,
         )
     else:
         _run_feedback_per_round(
@@ -214,25 +240,40 @@ def _run_feedback_compiled(
     phase: str,
     rng_namespace: object,
     outputs: dict[int, set[int]],
+    shapes: ScheduleShapeCache,
+    block_draws: bool,
 ) -> None:
     """Compile ``slots × repetitions`` into one schedule and run it in bulk.
 
     Per slot the witness broadcasts form a *static transmitter template*
     (rank map precomputed once — no ``witnesses.index`` in any inner loop)
     shared by every repetition's :class:`CompiledRound`; each listener's
-    full hop sequence is drawn from its private stream up front, consuming
-    the streams in exactly the order the per-round path would (slot-major,
-    then repetition), so seeded executions coincide bit for bit.
+    whole hop sequence is materialized from its private stream up front
+    with the batched :class:`~repro.rng.BlockDrawer`, consuming the
+    streams in exactly the order the per-round path would (slot-major,
+    then repetition), so seeded executions coincide bit for bit.  Shape —
+    templates, metadata, the per-round listener buckets the hop matrices
+    transpose into, and the stream table — comes from ``shapes`` and is
+    reused in place across invocations when the caller shares a cache.
     """
     channels = assignment.channels
-    listener_streams = {
-        node: rng.stream(rng_namespace, "listen", node) for node in participants
-    }
+    nchan = len(channels)
+    streams = shapes.streams(rng, rng_namespace, "listen", participants)
+    if block_draws:
+        draw = BlockDrawer(nchan).draw
+    else:
+        draw = lambda stream, count: draw_uniform_indices(  # noqa: E731
+            stream, nchan, count
+        )
 
+    buckets = shapes.buckets(channels, assignment.slots * repetitions)
+    rows = buckets.rows
+    listens = buckets.listens
     compiled_rounds: list[CompiledRound] = []
     # fanouts[i] = (slot, listener groups) for compiled_rounds[i]; the
     # groups let the result fold touch only channels that decoded a frame.
     fanouts: list[tuple[int, Mapping[int, list[int]]]] = []
+    base = 0
     for slot in range(assignment.slots):
         witnesses = assignment.witnesses_of(slot)
         witness_set = set(witnesses)
@@ -241,32 +282,29 @@ def _run_feedback_compiled(
             for w in witnesses:
                 outputs[w].add(slot)  # Figure 1 line 14
         frame_of = feedback_true if slot_flag else feedback_false
-        template = {
-            w: Transmit(channels[rank], frame_of(w, slot))
-            for rank, w in enumerate(witnesses)
-        }
-        meta = RoundMeta(phase=phase, extra={"slot": slot})
-        # Draw each listener's whole hop sequence for this slot up front
-        # (per-stream consumption order matches the per-round path:
-        # slot-major, then repetition — see draw_uniform_indices for the
-        # choice-compatibility invariant), then group listeners per
-        # repetition.  Groups are pre-seeded with every feedback channel.
-        nchan = len(channels)
-        node_hops = [
-            (
-                node,
-                draw_uniform_indices(
-                    listener_streams[node], nchan, repetitions
-                ),
-            )
-            for node in participants
-            if node not in witness_set
-        ]
-        listen_count = len(node_hops)
-        for rep in range(repetitions):
-            by_channel: dict[int, list[int]] = {c: [] for c in channels}
-            for node, hops in node_hops:
-                by_channel[channels[hops[rep]]].append(node)
+        template = shapes.memo(
+            ("feedback-template", channels, slot, witnesses, slot_flag),
+            lambda: {
+                w: Transmit(channels[rank], frame_of(w, slot))
+                for rank, w in enumerate(witnesses)
+            },
+        )
+        meta = shapes.meta(phase, slot=slot)
+        # Materialize each listener's hop sequence for this slot and
+        # transpose it straight into the slot's pre-allocated buckets
+        # (hop values are channel *positions*, so the fill indexes lists
+        # instead of hashing channel ids).  Every bucket dict is
+        # pre-seeded with every feedback channel, in channel order.
+        slot_rows = rows[base : base + repetitions]
+        listen_count = 0
+        for node, stream in zip(participants, streams):
+            if node in witness_set:
+                continue
+            for row, hop in zip(slot_rows, draw(stream, repetitions)):
+                row[hop].append(node)
+            listen_count += 1
+        for i in range(base, base + repetitions):
+            by_channel = listens[i]
             compiled_rounds.append(
                 CompiledRound(
                     transmits=template,
@@ -276,6 +314,7 @@ def _run_feedback_compiled(
                 )
             )
             fanouts.append((slot, by_channel))
+        base += repetitions
 
     heard_per_round = network.execute_schedule(RoundSchedule(compiled_rounds))
 

@@ -51,7 +51,7 @@ from ..radio.network import (
     RoundMeta,
     RoundSchedule,
 )
-from ..rng import RngRegistry
+from ..rng import BlockDrawer, RngRegistry
 from .result import GroupKeyResult
 from .spanner import choose_leaders, leader_spanner
 
@@ -337,28 +337,38 @@ class GroupKeyProtocol:
                 else None
             )
             # The epoch's transmit/listen pattern is pure private coin
-            # flips: draw every node's hop sequence up front (same
-            # per-stream order as the per-round loop) and compile the
-            # whole epoch; listeners resolve lazily per channel group.
+            # flips: materialize every node's hop sequence up front with
+            # the batched BlockDrawer (``randrange(channels)`` bottoms out
+            # in the same getrandbits rejection chain — see the invariant
+            # in repro.rng — so per-stream consumption is byte-identical
+            # to the historical per-round ``randrange`` loop) and compile
+            # the whole epoch; listeners resolve lazily per channel group.
+            # A silent reporter (no frame) draws nothing, as before.
             meta = RoundMeta(
                 phase="groupkey-part3", extra={"reporter": reporter}
             )
+            drawer = BlockDrawer(channels)
+            hop_matrix: list[list[int] | None] = [
+                None
+                if node == reporter and frame is None
+                else drawer.draw(streams[node], epoch_rounds)
+                for node in range(self.n)
+            ]
             epoch: list[CompiledRound] = []
             fanouts: list[dict[int, list[int]]] = []
-            for _ in range(epoch_rounds):
+            for rnd in range(epoch_rounds):
                 transmits: dict[int, Transmit] = {}
                 by_channel: dict[int, list[int]] = {}
                 listen_count = 0
                 for node in range(self.n):
-                    stream = streams[node]
                     if node == reporter:
                         if frame is not None:
                             transmits[node] = Transmit(
-                                stream.randrange(channels), frame
+                                hop_matrix[node][rnd], frame
                             )
                     else:
                         by_channel.setdefault(
-                            stream.randrange(channels), []
+                            hop_matrix[node][rnd], []
                         ).append(node)
                         listen_count += 1
                 epoch.append(

@@ -24,6 +24,7 @@ from .network import (
     RoundMeta,
     RoundSchedule,
 )
+from .shapes import BucketBlock, ScheduleShapeCache
 from .trace import ExecutionTrace, RoundRecord, SparseDelivered
 from .metrics import NetworkMetrics, frame_size, payload_size
 from .export import channel_occupancy, dump_trace, trace_to_records
@@ -31,6 +32,7 @@ from .export import channel_occupancy, dump_trace, trace_to_records
 __all__ = [
     "Action",
     "AdversaryView",
+    "BucketBlock",
     "CompiledRound",
     "DELTA_KIND",
     "DeltaFrame",
@@ -45,6 +47,7 @@ __all__ = [
     "RoundRecord",
     "RoundSchedule",
     "SLEEP",
+    "ScheduleShapeCache",
     "Sleep",
     "SparseDelivered",
     "Transmit",

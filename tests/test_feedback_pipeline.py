@@ -66,7 +66,15 @@ ADVERSARIES = {
 class TestFeedbackEquivalence:
     """Compiled vs per-round `run_feedback` over seeded executions."""
 
-    def _run(self, adversary_factory, compiled, *, keep_trace=True, seed=7):
+    def _run(
+        self,
+        adversary_factory,
+        compiled,
+        *,
+        keep_trace=True,
+        seed=7,
+        **kwargs,
+    ):
         n, channels, t = 40, 3, 2
         net = RadioNetwork(
             n, channels, t, adversary=adversary_factory(), keep_trace=keep_trace
@@ -81,6 +89,7 @@ class TestFeedbackEquivalence:
             list(range(n)),
             RngRegistry(seed=seed),
             compiled=compiled,
+            **kwargs,
         )
         return out, net
 
@@ -116,7 +125,7 @@ class TestParallelFeedbackEquivalence:
         k: v for k, v in ADVERSARIES.items() if k != "spoof-feedback"
     }
 
-    def _run(self, adversary_factory, compiled, *, seed=9):
+    def _run(self, adversary_factory, compiled, *, seed=9, **kwargs):
         n, channels, t = 60, 8, 2
         net = RadioNetwork(n, channels, t, adversary=adversary_factory())
         witness_sets = [tuple(range(s * 4, s * 4 + 4)) for s in range(4)]
@@ -130,6 +139,7 @@ class TestParallelFeedbackEquivalence:
             list(range(n)),
             RngRegistry(seed=seed),
             compiled=compiled,
+            **kwargs,
         )
         return out, net
 
@@ -149,6 +159,157 @@ class TestParallelFeedbackEquivalence:
         out, _net = self._run(ADVERSARIES["random"], compiled=True)
         expected = {0, 2, 3}
         assert all(d == expected for d in out.values())
+
+
+class TestBlockDrawEquivalence:
+    """The block-draw hop sampler and the shape cache are invisible.
+
+    ``block_draws=False`` is the reference hatch: compiled scheduling with
+    the historical one-``draw_uniform_indices``-call-per-listener-slot
+    chain.  Block draws must match it byte-for-byte (outputs, metrics,
+    canonical traces — and, since the traces embed every hop, the exact
+    generator consumption).  Likewise a shared ``ScheduleShapeCache`` must
+    be pure behaviour-wise: cached bucket blocks, metas, and stream tables
+    change allocation, never results.
+    """
+
+    serial = TestFeedbackEquivalence()
+    parallel = TestParallelFeedbackEquivalence()
+
+    @pytest.mark.parametrize("adversary", sorted(ADVERSARIES))
+    def test_serial_block_draws_match_loop_draws(self, adversary):
+        factory = ADVERSARIES[adversary]
+        loop_out, loop_net = self.serial._run(
+            factory, compiled=True, block_draws=False
+        )
+        block_out, block_net = self.serial._run(
+            factory, compiled=True, block_draws=True
+        )
+        assert block_out == loop_out
+        assert block_net.metrics == loop_net.metrics
+        assert (
+            block_net.trace.canonical_forms()
+            == loop_net.trace.canonical_forms()
+        )
+
+    @pytest.mark.parametrize(
+        "adversary", sorted(TestParallelFeedbackEquivalence.PARALLEL_ADVERSARIES)
+    )
+    def test_parallel_block_draws_match_loop_draws(self, adversary):
+        factory = self.parallel.PARALLEL_ADVERSARIES[adversary]
+        loop_out, loop_net = self.parallel._run(
+            factory, compiled=True, block_draws=False
+        )
+        block_out, block_net = self.parallel._run(
+            factory, compiled=True, block_draws=True
+        )
+        assert block_out == loop_out
+        assert block_net.metrics == loop_net.metrics
+        assert (
+            block_net.trace.canonical_forms()
+            == loop_net.trace.canonical_forms()
+        )
+
+    def test_serial_shared_shape_cache_is_pure(self):
+        from repro.radio import ScheduleShapeCache
+
+        cache = ScheduleShapeCache()
+        for seed in (7, 8, 9, 7):  # repeat seed 7: warm-cache re-run
+            fresh_out, fresh_net = self.serial._run(
+                ADVERSARIES["random"], compiled=True, seed=seed
+            )
+            cached_out, cached_net = self.serial._run(
+                ADVERSARIES["random"],
+                compiled=True,
+                seed=seed,
+                shape_cache=cache,
+            )
+            assert cached_out == fresh_out
+            assert cached_net.metrics == fresh_net.metrics
+            assert (
+                cached_net.trace.canonical_forms()
+                == fresh_net.trace.canonical_forms()
+            )
+
+    def test_parallel_shared_shape_cache_is_pure(self):
+        from repro.radio import ScheduleShapeCache
+
+        cache = ScheduleShapeCache()
+        for seed in (9, 10, 9):
+            fresh_out, fresh_net = self.parallel._run(
+                ADVERSARIES["sweep"], compiled=True, seed=seed
+            )
+            cached_out, cached_net = self.parallel._run(
+                ADVERSARIES["sweep"],
+                compiled=True,
+                seed=seed,
+                shape_cache=cache,
+            )
+            assert cached_out == fresh_out
+            assert cached_net.metrics == fresh_net.metrics
+            assert (
+                cached_net.trace.canonical_forms()
+                == fresh_net.trace.canonical_forms()
+            )
+
+
+class TestGroupKeyByteIdentity:
+    """Whole protocol runs are byte-identical to the pre-block-draw tree.
+
+    The digests below were recorded on the commit *before* the block-draw
+    engine landed, over (group key, holders, expected leader, round /
+    payload / collision counters, and the full canonical trace — every
+    hop of every node).  Matching them proves the batched samplers and
+    the shape cache reproduce the historical generator consumption
+    exactly, end to end, through all three group-key parts.
+    """
+
+    PLAIN_DIGEST = (
+        "caf9db3c5f00e2e548a628e4b35526d9ec784d082d79f3a2393139878e7af065"
+    )
+    JAMMED_DIGEST = (
+        "3ba37cd8357ce3ee46c9649fb172371a080568d5ab34e23f98705bc5c512a777"
+    )
+
+    @staticmethod
+    def _fingerprint(seed, adversary=None):
+        import hashlib
+        import json
+
+        from repro.crypto.dh import TEST_GROUP_64
+        from repro.groupkey import establish_group_key
+
+        net = RadioNetwork(18, 2, 1, adversary=adversary)
+        res = establish_group_key(
+            net, RngRegistry(seed=seed), group=TEST_GROUP_64
+        )
+        material = repr(
+            (
+                None if res.group_key is None else res.group_key.hex(),
+                sorted(res.holders()),
+                res.expected_leader,
+                net.metrics.rounds,
+                net.metrics.payload_units,
+                net.metrics.collisions,
+                [
+                    json.dumps(r, sort_keys=True, default=repr)
+                    for r in net.trace.canonical_forms()
+                ],
+            )
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def test_plain_run_matches_pre_change_tree(self):
+        assert self._fingerprint(7) == self.PLAIN_DIGEST
+
+    def test_jammed_run_matches_pre_change_tree(self):
+        assert (
+            self._fingerprint(
+                11,
+                adversary=RandomJammer(random.Random(0xFEED), intensity=1.0),
+            )
+            == self.JAMMED_DIGEST
+        )
 
 
 def _random_compiled_round(rng, n, channels):

@@ -16,17 +16,33 @@ Also home to the slot-set digest properties backing the delta feedback
 frames: applying any sequence of (possibly overlapping) slot-set deltas
 and digesting incrementally must equal the one-shot digest of the merged
 set, and disjoint parts must combine to the whole.
+
+And to the block-draw properties backing the batched hop sampler: for
+arbitrary ``(n, count, seed)``, block draws == sequential
+``draw_uniform_indices`` == a ``choice`` loop, byte-for-byte — values AND
+post-draw generator state — the invariant (see ``repro.rng``) that makes
+the compiled feedback pipelines' bulk hop matrices exchangeable with the
+historical per-draw paths.
 """
 
 from __future__ import annotations
 
+import random
+
 from hypothesis import given, settings, strategies as st
+
+import pytest
 
 from repro.fame.config import make_config, witness_group_size
 from repro.fame.digests import SlotSetDigest, combine_digests, slot_set_digest
 from repro.fame.schedule import build_schedule
 from repro.game.graph import GameGraph
 from repro.game.greedy import GreedyTermination, greedy_proposal
+from repro.rng import (
+    BlockDrawer,
+    draw_uniform_block,
+    draw_uniform_indices,
+)
 
 N = 60
 T = 2
@@ -131,6 +147,63 @@ def test_disjoint_digests_combine_to_the_union_digest(slots, pivot):
     ) == slot_set_digest(slots)
     assert combine_digests(slot_set_digest(slots)) == slot_set_digest(slots)
     assert combine_digests() == slot_set_digest(())
+
+
+class _ExoticRandom(random.Random):
+    """Subclass ⇒ both draw paths must take the choice-loop fallback."""
+
+
+@given(
+    n=st.integers(1, 1 << 20),
+    count=st.integers(0, 200),
+    seed=st.integers(0, 2**48),
+)
+@settings(max_examples=200, deadline=None)
+def test_block_draws_equal_loop_draws_equal_choice_loop(n, count, seed):
+    """Block == sequential == choice, values and post-draw state, for
+    arbitrary (n, count) — the byte-identical consumption proof."""
+    a, b, c = random.Random(seed), random.Random(seed), random.Random(seed)
+    seq = range(n)
+    choice_values = [c.choice(seq) for _ in range(count)]
+    loop_values = draw_uniform_indices(a, n, count)
+    block_values = draw_uniform_block(b, n, count)
+    assert block_values == loop_values == choice_values
+    assert a.getstate() == b.getstate() == c.getstate()
+
+
+@given(
+    n=st.integers(1, 5000),
+    count=st.integers(0, 100),
+    seed=st.integers(0, 2**32),
+)
+@settings(max_examples=100, deadline=None)
+def test_block_draws_fallback_matches_choice_for_exotic_streams(
+    n, count, seed
+):
+    """Non-``random.Random`` streams take the choice fallback on every
+    path; values and state still coincide."""
+    a, b, c = _ExoticRandom(seed), _ExoticRandom(seed), _ExoticRandom(seed)
+    seq = range(n)
+    choice_values = [c.choice(seq) for _ in range(count)]
+    assert draw_uniform_block(a, n, count) == choice_values
+    assert draw_uniform_indices(b, n, count) == choice_values
+    assert a.getstate() == b.getstate() == c.getstate()
+
+
+@given(n=st.integers(-50, 0), count=st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_empty_range_raises_on_every_path(n, count):
+    """n <= 0 is a ValueError before any stream state is touched, on the
+    fast paths, the block paths, and the exotic fallbacks alike."""
+    for stream in (random.Random(1), _ExoticRandom(1)):
+        before = stream.getstate()
+        with pytest.raises(ValueError):
+            draw_uniform_indices(stream, n, count)
+        with pytest.raises(ValueError):
+            draw_uniform_block(stream, n, count)
+        with pytest.raises(ValueError):
+            BlockDrawer(n)
+        assert stream.getstate() == before
 
 
 @given(edges=edge_sets)
