@@ -16,6 +16,10 @@ Commands
 ``worker``      join a socket-backend sweep as a worker process (connects
                 to the coordinator, pulls batches of trials until shutdown;
                 ``--batch-size`` on the sweep side pins the batch size)
+``lint``        run the determinism & wire-safety static analyzer
+                (:mod:`repro.lint`) over the tree; exit 0 clean, 1 on
+                findings, 2 on usage errors — CI self-hosts it over
+                ``src tests benchmarks`` with a zero-tolerance baseline
 
 Common options: ``--nodes``, ``--channels``, ``--strength`` (t), ``--seed``,
 ``--adversary``.  Every run is deterministic given the seed — for
@@ -35,7 +39,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 from pathlib import Path
 
@@ -52,14 +55,19 @@ from .experiments.workloads import (
 )
 from .fame import run_fame
 from .groupkey import establish_group_key
+from .lint.cli import add_lint_arguments, cmd_lint
 from .radio.network import RadioNetwork
 from .rng import RngRegistry
 from .service import SecureSession
 
 
 def _build_network(args: argparse.Namespace) -> RadioNetwork:
+    # The adversary's coins ride their own registry stream (the paper's
+    # separation of honest and adversarial randomness) — historically this
+    # was ad-hoc `args.seed ^ 0xA5A5` arithmetic, now banned by lint
+    # rule API002.
     adversary: Adversary = ADVERSARIES[args.adversary](
-        random.Random(args.seed ^ 0xA5A5)
+        RngRegistry(seed=args.seed).fresh("adversary")
     )
     return _make_network(args.nodes, args.channels, args.strength, adversary)
 
@@ -116,7 +124,7 @@ def cmd_gauntlet(args: argparse.Namespace) -> int:
     for name, factory in ADVERSARIES.items():
         network = _make_network(
             args.nodes, args.channels, args.strength,
-            factory(random.Random(args.seed)),
+            factory(RngRegistry(seed=args.seed).fresh("adversary", name)),
         )
         result = run_fame(network, pairs, rng=RngRegistry(seed=args.seed))
         cover = result.disruptability()
@@ -432,6 +440,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep retrying the connection this long before giving up",
     )
     wk.set_defaults(handler=cmd_worker)
+
+    li = sub.add_parser(
+        "lint",
+        help="determinism & wire-safety static analysis (repro.lint)",
+        description="Run the AST-based rule engine over files or "
+        "directories.  Rules enforce the repository's replayability "
+        "invariants (no raw random access, no set-order iteration, no "
+        "wall-clock reads in protocol code, no PYTHONHASHSEED-perturbed "
+        "hash()), wire safety (restricted unpickling, metered frames), "
+        "and API discipline (picklable wire dataclasses, registry-derived "
+        "seeds).  Suppress a justified exception with '# repro-lint: "
+        "disable=RULE -- reason'.  Exit codes: 0 clean, 1 findings, 2 "
+        "usage error.",
+        epilog="example: python -m repro lint src tests benchmarks "
+        "--baseline lint_baseline.json --json-out lint_report.json",
+    )
+    add_lint_arguments(li)
+    li.set_defaults(handler=cmd_lint)
     return parser
 
 

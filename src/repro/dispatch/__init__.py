@@ -24,6 +24,10 @@ differently.  This package makes that literal:
   across runs (``keep_alive=True`` / ``warm_up()`` / ``close()``), and
   lost-worker detection that requeues in-flight batches with
   already-applied indices filtered out.
+* :mod:`~repro.dispatch.wire` — :func:`~repro.dispatch.wire.
+  loads_restricted`, the allowlist unpickler both the socket frames and
+  the journal's pickled records decode through (hostile payloads raise
+  :class:`~repro.dispatch.wire.FrameRejected` instead of executing).
 * :mod:`~repro.dispatch.journal` — the durable JSONL
   :class:`~repro.dispatch.journal.SweepJournal` (one fsynced record per
   completed trial; ``--resume`` replays it and skips completed indices).
@@ -56,11 +60,14 @@ from .sweep import (
     SweepSpec,
     SweepState,
 )
+from .wire import FrameRejected, RestrictedUnpickler, loads_restricted
 
 __all__ = [
     "BACKEND_NAMES",
     "DispatchBackend",
+    "FrameRejected",
     "MultiprocessBackend",
+    "RestrictedUnpickler",
     "ResultAssembler",
     "SerialBackend",
     "SocketBackend",
@@ -71,6 +78,7 @@ __all__ = [
     "SweepSpec",
     "SweepState",
     "default_backend",
+    "loads_restricted",
     "make_backend",
     "worker_main",
 ]

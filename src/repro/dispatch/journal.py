@@ -23,7 +23,11 @@ Record formats (JSON, one object per line):
 
 The human-auditable fields (index/seed/success/cover) are convenience
 duplicates; the pickle field is authoritative — it round-trips tuple
-types and metrics subclasses that plain JSON would flatten.  A truncated
+types and metrics subclasses that plain JSON would flatten.  It is
+decoded through :func:`~repro.dispatch.wire.loads_restricted`, so an
+edited journal can at worst fail replay (:class:`~repro.dispatch.wire.
+FrameRejected` is fatal at any line — tampering, unlike truncation, is
+never forgiven), not execute code.  A truncated
 final line (the crash happened mid-write) is skipped on replay; a corrupt
 *interior* line is an error, since records after it prove the file was
 not merely cut short.
@@ -40,6 +44,7 @@ from typing import IO
 
 from ..errors import ConfigurationError, DispatchError
 from ..experiments.trial import TrialResult
+from .wire import FrameRejected, loads_restricted
 
 JOURNAL_VERSION = 1
 
@@ -64,7 +69,7 @@ def encode_record(result: TrialResult) -> str:
 
 def decode_record(record: dict) -> TrialResult:
     """Reconstruct the exact :class:`TrialResult` a record was made from."""
-    result = pickle.loads(base64.b64decode(record["result"]))
+    result = loads_restricted(base64.b64decode(record["result"]))
     if result.index != record["index"]:
         raise DispatchError(
             f"journal record index {record['index']} does not match its "
@@ -154,6 +159,14 @@ class SweepJournal:
             try:
                 record = json.loads(line)
                 result = decode_record(record)
+            except FrameRejected as exc:
+                # Tampering, not truncation: a crash mid-append can cut a
+                # record short (JSON/base64/pickle decode errors below),
+                # but it cannot write a *complete* pickle referencing a
+                # disallowed global.  Fatal even on the final line.
+                raise DispatchError(
+                    f"journal {path} line {lineno} rejected: {exc}"
+                ) from None
             except (json.JSONDecodeError, KeyError, ValueError,
                     pickle.UnpicklingError, EOFError):
                 if lineno == len(lines):

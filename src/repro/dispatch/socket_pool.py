@@ -74,8 +74,14 @@ identically on any worker, so the merged report stays byte-identical to
 serial regardless of batch sizes, completion order, retries, or worker
 count.
 
-Trust model: coordinator and workers mutually trust each other (frames
-are pickles).  Bind to localhost or a private network you control.
+Trust model: frames are pickles, but both directions decode through
+:func:`~repro.dispatch.wire.loads_restricted`, whose ``find_class``
+allowlist is exactly {``TrialSpec``, ``TrialResult``,
+``NetworkMetrics``} — an attacker who reaches the port can disrupt a
+sweep (:class:`~repro.dispatch.wire.FrameRejected` kills the
+connection) but cannot make the pickle layer import or call anything
+else.  Still bind to localhost or a private network you control:
+frames are neither authenticated nor encrypted.
 """
 
 from __future__ import annotations
@@ -95,6 +101,7 @@ from ..errors import ConfigurationError, DispatchError
 from ..experiments.trial import TrialSpec
 from ..experiments.workloads import run_trial
 from .backend import DispatchBackend, ResultAssembler
+from .wire import loads_restricted
 
 PROTOCOL_VERSION = 2
 """Coordinator/worker wire-protocol version, checked in the handshake."""
@@ -156,7 +163,7 @@ def recv_frame(sock: socket.socket) -> Any:
     """Blocking read of one length-prefixed frame (the worker side)."""
     length = int.from_bytes(_recv_exact(sock, 4), "big")
     _check_frame_length(length)
-    return pickle.loads(_recv_exact(sock, length))
+    return loads_restricted(_recv_exact(sock, length))
 
 
 class FrameDecoder:
@@ -182,7 +189,7 @@ class FrameDecoder:
             # buffer (a live export would raise BufferError).
             with memoryview(self._buffer) as view, \
                     view[4 : 4 + length] as payload:
-                frames.append(pickle.loads(payload))
+                frames.append(loads_restricted(payload))
             del self._buffer[: 4 + length]
         return frames
 

@@ -1,0 +1,79 @@
+"""Restricted unpickling for the two untrusted pickle surfaces.
+
+The socket pool's frames and the journal's ``result`` records are
+pickles, and until PR 8 both were decoded with a bare ``pickle.loads``
+— meaning anyone who could write to the coordinator's port or edit a
+journal file could execute arbitrary code at decode time (pickle's
+``GLOBAL``/``STACK_GLOBAL`` opcodes import and call any dotted name,
+which is how ``__reduce__`` payloads like ``os.system(...)`` work).
+
+:func:`loads_restricted` closes that hole with the standard defence
+from the ``pickle`` docs: a :class:`pickle.Unpickler` subclass whose
+``find_class`` only resolves an explicit ``(module, name)`` allowlist.
+Containers and scalars (dict/list/tuple/str/int/float/bool/bytes/None)
+are encoded by dedicated opcodes that never touch ``find_class``, so
+the allowlist below is exactly the set of *classes* our wire protocol
+and journal records may carry:
+
+* :class:`~repro.experiments.trial.TrialSpec` — requeue paths ship
+  whole specs; ``contexts`` frames ship their field tuples;
+* :class:`~repro.experiments.trial.TrialResult` — ``results`` frames
+  and every journal ``trial`` record;
+* :class:`~repro.radio.metrics.NetworkMetrics` — embedded in each
+  result (``rounds_by_phase`` is a plain dict, no extra classes).
+
+Anything else — ``os.system``, ``builtins.eval``, an unexpected repro
+class — raises :class:`FrameRejected`, a :class:`~repro.errors.
+DispatchError` subtype, so the journal replayer can treat a hostile or
+foreign record as corruption without also swallowing the index-mismatch
+``DispatchError`` that must stay fatal.
+
+This module is the WIRE001 allowlist owner: ``repro.lint`` permits raw
+``pickle`` here and flags it everywhere else.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+
+from ..errors import DispatchError
+
+
+class FrameRejected(DispatchError):
+    """An untrusted pickle referenced a name outside the allowlist."""
+
+
+#: Exactly the classes legitimate frames and journal records contain.
+#: Extend deliberately: every entry is attacker-reachable code.
+UNPICKLE_ALLOWLIST: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("repro.experiments.trial", "TrialSpec"),
+        ("repro.experiments.trial", "TrialResult"),
+        ("repro.radio.metrics", "NetworkMetrics"),
+    }
+)
+
+
+class RestrictedUnpickler(pickle.Unpickler):
+    """``find_class`` limited to :data:`UNPICKLE_ALLOWLIST`."""
+
+    def find_class(self, module: str, name: str):  # noqa: D102
+        if (module, name) in UNPICKLE_ALLOWLIST:
+            return super().find_class(module, name)
+        raise FrameRejected(
+            f"frame references disallowed global {module}.{name}; "
+            "allowed: "
+            + ", ".join(sorted(f"{m}.{n}" for m, n in UNPICKLE_ALLOWLIST))
+        )
+
+
+def loads_restricted(data: bytes | bytearray | memoryview) -> object:
+    """Decode one untrusted frame/record payload.
+
+    Raises :class:`FrameRejected` for out-of-allowlist globals and
+    normalises pickle's own decode failures (truncation, garbage) to
+    ``pickle.UnpicklingError``/``EOFError`` exactly as ``pickle.loads``
+    would, so existing corruption handling keeps working.
+    """
+    return RestrictedUnpickler(io.BytesIO(data)).load()

@@ -219,3 +219,79 @@ class TestWorkerCommand:
     def test_malformed_endpoint_exits_2(self, capsys):
         assert main(["worker", "--connect", "nonsense"]) == 2
         assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    """Exit-code contract of ``python -m repro lint`` (0 / 1 / 2)."""
+
+    def write(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.write_text(source, encoding="utf-8")
+        return path
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        self.write(tmp_path, "ok.py", "VALUE = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_1(self, tmp_path, capsys):
+        # The permanent stand-in for the "CI goes red on a violation"
+        # demonstration: a synthetic DET001 file must fail the run.
+        self.write(
+            tmp_path, "bad.py", "import random\nx = random.random()\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "bad.py:2:" in out
+
+    def test_unknown_path_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing")]) == 2
+        assert "repro lint:" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        self.write(tmp_path, "ok.py", "VALUE = 1\n")
+        baseline = self.write(tmp_path, "base.json", "{\"nope\": true}")
+        assert (
+            main(["lint", str(tmp_path / "ok.py"),
+                  "--baseline", str(baseline)]) == 2
+        )
+        assert "baseline" in capsys.readouterr().err
+
+    def test_baseline_grandfathers_then_goes_stale(self, tmp_path, capsys):
+        bad = self.write(
+            tmp_path, "bad.py", "import random\nx = random.random()\n"
+        )
+        entry = {"path": str(bad), "rule": "DET001", "line": 2}
+        baseline = self.write(
+            tmp_path,
+            "base.json",
+            json.dumps({"version": 1, "findings": [entry]}),
+        )
+        assert (
+            main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        )
+        capsys.readouterr()
+
+        bad.write_text("VALUE = 1\n", encoding="utf-8")  # violation fixed
+        assert (
+            main(["lint", str(bad), "--baseline", str(baseline)]) == 1
+        )
+        assert "stale baseline" in capsys.readouterr().out
+
+    def test_json_out_written_even_on_findings(self, tmp_path):
+        bad = self.write(
+            tmp_path, "bad.py", "import random\nx = random.random()\n"
+        )
+        out_path = tmp_path / "report.json"
+        assert (
+            main(["lint", str(bad), "--json-out", str(out_path)]) == 1
+        )
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        assert document["clean"] is False
+        assert document["findings"][0]["rule"] == "DET001"
+
+    def test_list_rules_exits_0(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out and "WIRE001" in out
+        assert "allowlisted: repro.rng" in out

@@ -65,7 +65,7 @@ def test_fame_theorem6_properties(edges, adversary_index, seed):
         if outcome.success:
             assert outcome.message == messages[pair]
     # Sender awareness agrees with the outcomes.
-    for sender in {v for v, _ in edges}:
+    for sender in sorted({v for v, _ in edges}):
         for pair, ok in res.sender_report(sender).items():
             assert ok == res.outcomes[pair].success
     # Theorem 4 move bound.
