@@ -1,0 +1,309 @@
+"""Key-service daemon benchmark: sessions/sec and rounds/sec, daemon vs sync.
+
+Measures what the `repro.serve` stack (PR 9) costs on top of driving the
+same `SessionHost` synchronously in-process:
+
+1. **Sessions/sec** — preshared ``n=6`` sessions opened (and closed)
+   through the bare ``SessionHost`` vs through a live ``ServeDaemon``
+   over localhost TCP (handshake, framing, event loop all on the clock).
+2. **Rounds/sec** — steady-state message traffic (``send`` + ``flush``,
+   one emulated round per message) against one hot session, again bare
+   host vs daemon round trips.
+
+Before timing anything the script asserts the serve determinism claim:
+a daemon multiplexing interleaved sessions produces per-session
+deliveries **byte-identical** to a fresh synchronous ``SessionHost``
+with the same seed driving the same scripts one session at a time — so
+a correctness regression fails this benchmark even though the
+throughput floors are the headline.
+
+Run ``PYTHONPATH=src python benchmarks/bench_serve.py`` to regenerate
+``benchmarks/BENCH_serve.json`` (the committed trajectory), or with
+``--quick`` for the CI smoke invocation (smaller workloads, no file
+written, non-zero exit if daemon throughput drops below the
+``--min-sessions-per-sec`` / ``--min-rounds-per-sec`` floors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import ServeDaemon, ServiceClient, SessionHost
+from repro.serve import protocol as p
+
+N = 6
+EQUIV_SESSIONS = 12
+EQUIV_SEED = 2008
+
+
+# ---------------------------------------------------------------------------
+# Equivalence first: daemon == synchronous drive, byte for byte.
+# ---------------------------------------------------------------------------
+
+def _session_script(name: str, index: int):
+    ops = []
+    for message_round in range(2):
+        sender = (index + message_round) % N
+        ops.append(("send", sender, b"%s:%d" % (name.encode(), message_round)))
+        ops.append(("flush",))
+    if index % 4 == 0:
+        ops.append(("rekey", (N - 1,)))
+        ops.append(("send", 0, b"%s:post" % name.encode()))
+        ops.append(("flush",))
+    return ops
+
+
+def _apply(do, name, op):
+    if op[0] == "send":
+        do(p.SendMessage(name=name, sender=op[1], payload=op[2]))
+    elif op[0] == "flush":
+        do(p.Flush(name=name))
+    elif op[0] == "rekey":
+        do(p.Rekey(name=name, compromised=op[1]))
+
+
+def _drain_all(do, name):
+    return {
+        member: do(
+            p.DrainInbox(name=name, member=member, include_former=True)
+        ).deliveries
+        for member in range(N)
+    }
+
+
+def _daemon_client(seed):
+    daemon = ServeDaemon(seed=seed)
+    host, port = daemon.bind()
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    client = ServiceClient(host, port, name="bench")
+    return daemon, thread, client
+
+
+def assert_equivalence() -> None:
+    names = [f"s{i:02d}" for i in range(EQUIV_SESSIONS)]
+    scripts = {name: _session_script(name, i) for i, name in enumerate(names)}
+
+    _daemon, thread, client = _daemon_client(EQUIV_SEED)
+    via_daemon = {}
+    with client:
+        for name in names:
+            client.open_session(name, n=N)
+        longest = max(len(s) for s in scripts.values())
+        for step in range(longest):  # interleave round-robin
+            for name in names:
+                if step < len(scripts[name]):
+                    _apply(client.request, name, scripts[name][step])
+        for name in names:
+            via_daemon[name] = _drain_all(client.request, name)
+        client.shutdown()
+    thread.join(timeout=30)
+
+    sync_host = SessionHost(seed=EQUIV_SEED)
+
+    def do(request):
+        response = sync_host.handle(1, request)
+        assert not isinstance(response, p.Failure), response
+        return response
+
+    via_sync = {}
+    for name in names:
+        do(p.OpenSession(name=name, n=N))
+        for op in scripts[name]:
+            _apply(do, name, op)
+        via_sync[name] = _drain_all(do, name)
+
+    assert via_daemon == via_sync, "daemon deliveries diverged from sync drive"
+    deliveries = sum(
+        len(rows) for boxes in via_sync.values() for rows in boxes.values()
+    )
+    assert deliveries > 0
+    print(
+        f"equivalence OK: {EQUIV_SESSIONS} interleaved daemon sessions == "
+        f"sync drive ({deliveries} deliveries, seed {EQUIV_SEED})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Throughput.
+# ---------------------------------------------------------------------------
+
+def _time(fn, *, min_seconds: float) -> tuple[float, int]:
+    """Run ``fn(iterations)`` long enough to trust the clock; return
+    (seconds, iterations)."""
+    iterations = 8
+    while True:
+        start = time.perf_counter()
+        fn(iterations)
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return elapsed, iterations
+        iterations *= 4
+
+
+def bench_host_sessions(min_seconds: float) -> float:
+    host = SessionHost(seed=1)
+
+    def run(iterations: int) -> None:
+        for i in range(iterations):
+            name = f"b{i}"
+            host.handle(1, p.OpenSession(name=name, n=N))
+            host.handle(1, p.CloseSession(name=name))
+
+    elapsed, iterations = _time(run, min_seconds=min_seconds)
+    return iterations / elapsed
+
+
+def bench_daemon_sessions(min_seconds: float) -> float:
+    _daemon, thread, client = _daemon_client(seed=1)
+    try:
+        with client:
+            def run(iterations: int) -> None:
+                for i in range(iterations):
+                    name = f"b{i}"
+                    client.open_session(name, n=N)
+                    client.close_session(name)
+
+            elapsed, iterations = _time(run, min_seconds=min_seconds)
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+    return iterations / elapsed
+
+
+def bench_host_rounds(min_seconds: float) -> float:
+    host = SessionHost(seed=1)
+    host.handle(1, p.OpenSession(name="hot", n=N))
+
+    def run(iterations: int) -> None:
+        for i in range(iterations):
+            host.handle(1, p.SendMessage(name="hot", sender=i % N, payload=b"x"))
+            host.handle(1, p.Flush(name="hot"))
+
+    elapsed, iterations = _time(run, min_seconds=min_seconds)
+    return iterations / elapsed
+
+
+def bench_daemon_rounds(min_seconds: float) -> float:
+    _daemon, thread, client = _daemon_client(seed=1)
+    try:
+        with client:
+            client.open_session("hot", n=N)
+
+            def run(iterations: int) -> None:
+                for i in range(iterations):
+                    client.send("hot", i % N, b"x")
+                    client.flush("hot")
+
+            elapsed, iterations = _time(run, min_seconds=min_seconds)
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+    return iterations / elapsed
+
+
+def run_suite(min_seconds: float) -> dict:
+    host_sessions = bench_host_sessions(min_seconds)
+    daemon_sessions = bench_daemon_sessions(min_seconds)
+    host_rounds = bench_host_rounds(min_seconds)
+    daemon_rounds = bench_daemon_rounds(min_seconds)
+    return {
+        "sessions_per_sec": {
+            "sync_host": round(host_sessions, 1),
+            "daemon": round(daemon_sessions, 1),
+            "daemon_overhead": round(host_sessions / daemon_sessions, 2),
+        },
+        "rounds_per_sec": {
+            "sync_host": round(host_rounds, 1),
+            "daemon": round(daemon_rounds, 1),
+            "daemon_overhead": round(host_rounds / daemon_rounds, 2),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: short timing windows, no JSON written",
+    )
+    parser.add_argument(
+        "--min-sessions-per-sec",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) if daemon session churn drops below this",
+    )
+    parser.add_argument(
+        "--min-rounds-per-sec",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) if daemon message throughput drops below this",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_serve.json",
+        help="output path for the committed baseline",
+    )
+    args = parser.parse_args(argv)
+
+    assert_equivalence()
+
+    min_seconds = 0.1 if args.quick else 0.5
+    results = run_suite(min_seconds)
+
+    for section, row in results.items():
+        cells = "  ".join(f"{k}={v}" for k, v in row.items())
+        print(f"{section:>17}: {cells}")
+
+    if not args.quick:
+        payload = {
+            "generated_by": "benchmarks/bench_serve.py",
+            "workload": {
+                "n": N,
+                "mode": "preshared",
+                "equivalence_sessions": EQUIV_SESSIONS,
+                "rounds": "send+flush, one emulated round per message",
+                "sessions": "open+close churn",
+            },
+            "python": platform.python_version(),
+            "results": results,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    failed = False
+    daemon_sessions = results["sessions_per_sec"]["daemon"]
+    daemon_rounds = results["rounds_per_sec"]["daemon"]
+    if daemon_sessions < args.min_sessions_per_sec:
+        print(
+            f"FAIL: daemon sessions/sec {daemon_sessions} "
+            f"< {args.min_sessions_per_sec} floor",
+            file=sys.stderr,
+        )
+        failed = True
+    if daemon_rounds < args.min_rounds_per_sec:
+        print(
+            f"FAIL: daemon rounds/sec {daemon_rounds} "
+            f"< {args.min_rounds_per_sec} floor",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print(
+        f"OK: daemon sustains {daemon_sessions} sessions/sec, "
+        f"{daemon_rounds} rounds/sec"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ from .errors import (
     ProtocolViolation,
     ReproError,
     ScheduleError,
+    ServiceError,
     SimulationDiverged,
 )
 from .params import DEFAULT_PARAMETERS, ProtocolParameters, min_population, validate_model
@@ -146,6 +147,7 @@ __all__ = [
     "ScheduleAwareJammer",
     "ScheduleError",
     "SecureSession",
+    "ServiceError",
     "SimulatingAdversary",
     "SimulationDiverged",
     "Sleep",

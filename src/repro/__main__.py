@@ -270,6 +270,114 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return worker_main(host, port, retry_seconds=args.retry_seconds)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import serve_main
+
+    try:
+        host, port = parse_endpoint(args.bind)
+    except ConfigurationError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    return serve_main(
+        seed=args.seed,
+        host=host,
+        port=port,
+        max_sessions=args.max_sessions,
+        idle_timeout=args.idle_timeout,
+    )
+
+
+def cmd_serve_client(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+    from .serve import ServiceClient
+
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ConfigurationError as exc:
+        print(f"repro serve-client: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(host, port, name="cli") as client:
+            return _serve_client_action(client, args)
+    except ServiceError as exc:
+        print(f"repro serve-client: {exc}", file=sys.stderr)
+        return 1
+
+
+def _serve_client_action(client, args: argparse.Namespace) -> int:
+    if args.action == "list":
+        for name in client.list_sessions():
+            print(name)
+        return 0
+    if args.action == "shutdown":
+        client.shutdown()
+        print("daemon shutting down")
+        return 0
+    if args.session is None:
+        print(
+            f"repro serve-client: {args.action} needs a session name",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "open":
+        opened = client.open_session(
+            args.session,
+            n=args.nodes,
+            channels=args.channels,
+            t=args.strength,
+            adversary=args.adversary,
+            rekey_interval=args.rekey_interval,
+        )
+        print(
+            f"opened {opened.name!r}: members={opened.members} "
+            f"epoch={opened.epoch_length} rounds/emulated round"
+        )
+        return 0
+    if args.action == "stats":
+        stats = client.stats(args.session)
+        print(
+            f"{stats.name}: members={stats.members} gen={stats.generation} "
+            f"pending={stats.pending} attached={stats.attached} "
+            f"emulated={stats.emulated_rounds} real={stats.real_rounds} "
+            f"sent={stats.sent} delivered={stats.delivered} "
+            f"rekeys={stats.rekeys}"
+        )
+        return 0
+    if args.action == "rekey":
+        done = client.rekey(args.session, tuple(args.compromised))
+        print(
+            f"rekeyed {done.name!r}: gen={done.generation} "
+            f"distributor={done.distributor} members={done.members} "
+            f"excluded={done.excluded} dropped={done.dropped} "
+            f"in {done.rounds} rounds"
+        )
+        return 0
+    if args.action == "demo":
+        client.join_session(args.session)
+        stats = client.stats(args.session)
+        for i, member in enumerate(stats.members[:3]):
+            client.send(
+                args.session, member, f"demo message {i}".encode()
+            )
+        flushed = client.flush(args.session)
+        print(
+            f"flushed {flushed.emulated_rounds} emulated rounds, "
+            f"{len(flushed.deliveries)} deliveries"
+        )
+        reader = stats.members[-1]
+        for delivery in client.drain_inbox(args.session, reader):
+            print(
+                f"  node {reader} <- node {delivery.sender}: "
+                f"{delivery.payload.decode()}"
+            )
+        return 0
+    print(
+        f"repro serve-client: unknown action {args.action!r}",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _int_list(text: str) -> list[int]:
     """Comma-separated ints for grid axes (``--nodes 18,24,32``)."""
     try:
@@ -440,6 +548,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep retrying the connection this long before giving up",
     )
     wk.set_defaults(handler=cmd_worker)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the multi-session key-service daemon",
+        description="Bind a TCP port and multiplex concurrent SecureSession "
+        "group sessions (open/join/leave, send/flush/drain, scheduled and "
+        "on-demand re-keys, per-session adversaries) behind the typed "
+        "repro.serve wire protocol.  Every session's randomness derives "
+        "from --seed and the session name, so a daemon-served session is "
+        "byte-identical to the same session driven synchronously.",
+        epilog="example: python -m repro serve --bind 127.0.0.1:7410",
+    )
+    sv.add_argument(
+        "--bind", default="127.0.0.1:0",
+        help="daemon HOST:PORT (0 = OS-assigned, printed to stderr)",
+    )
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="bound on concurrent sessions (excess opens fail 'busy')",
+    )
+    sv.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="exit after this many seconds with no clients and no traffic",
+    )
+    sv.set_defaults(handler=cmd_serve)
+
+    sc = sub.add_parser(
+        "serve-client",
+        help="talk to a running key-service daemon",
+        description="Actions: list; open NAME; demo NAME (send a few "
+        "messages, flush, read an inbox); stats NAME; rekey NAME "
+        "[--compromised IDS]; shutdown.",
+        epilog="example: python -m repro serve-client --connect "
+        "127.0.0.1:7410 demo alpha",
+    )
+    sc.add_argument("--connect", required=True, help="daemon HOST:PORT")
+    sc.add_argument(
+        "action",
+        choices=("list", "open", "demo", "stats", "rekey", "shutdown"),
+    )
+    sc.add_argument("session", nargs="?", default=None)
+    sc.add_argument("--nodes", "-n", type=int, default=8)
+    sc.add_argument("--channels", "-c", type=int, default=2)
+    sc.add_argument("--strength", "-t", type=int, default=1)
+    sc.add_argument(
+        "--adversary", choices=sorted(ADVERSARIES), default=None,
+        help="subject the session's network to a gallery adversary",
+    )
+    sc.add_argument(
+        "--rekey-interval", type=int, default=0,
+        help="rotate the group key every N emulated rounds during flushes",
+    )
+    sc.add_argument(
+        "--compromised", type=_int_list, default=[],
+        help="comma-separated member ids to exclude when re-keying",
+    )
+    sc.set_defaults(handler=cmd_serve_client)
 
     li = sub.add_parser(
         "lint",

@@ -84,6 +84,24 @@ class SweepInterrupted(ReproError):
         self.completed = tuple(completed)
 
 
+class ServiceError(ReproError):
+    """A typed failure from the key-service layer (:mod:`repro.serve`).
+
+    Carries a machine-readable ``code`` (``busy``, ``unknown-session``,
+    ``not-a-member``, ``bad-request``, ...; the catalog lives in
+    :mod:`repro.serve.protocol`) so daemon failure frames round-trip the
+    wire as data, never as raw exceptions: the daemon maps every
+    service-layer refusal to exactly one ``fail`` frame, and
+    :class:`~repro.serve.client.ServiceClient` re-raises it as this type
+    with the code intact.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.detail = message
+
+
 class CryptoError(ReproError):
     """Raised for failures in the from-scratch crypto substrate.
 

@@ -1,0 +1,34 @@
+"""The multi-session key-service daemon (``python -m repro serve``).
+
+The paper's Section 7 service is setup-once, communicate-forever; this
+package is the "forever" part as an actual process: a selectors-based
+daemon multiplexing many concurrent :class:`~repro.service.session.
+SecureSession` group sessions (create/join/leave churn, scheduled and
+on-demand re-keys, per-session adversaries) behind a typed
+request/response wire protocol with bounded queues and typed failure
+frames.
+
+Layers:
+
+* :mod:`~repro.serve.protocol` — frozen request/response dataclasses
+  and their plain-dict wire encoding (the restricted unpickler's
+  allowlist is never widened);
+* :mod:`~repro.serve.host` — :class:`~repro.serve.host.SessionHost`,
+  the clock-free session registry and request dispatcher (drive it
+  directly for byte-identical synchronous replays);
+* :mod:`~repro.serve.daemon` — the socket event loop;
+* :mod:`~repro.serve.client` — :class:`~repro.serve.client.
+  ServiceClient`, the blocking API.
+"""
+
+from .client import ServiceClient
+from .daemon import ServeDaemon, serve_main
+from .host import HostedSession, SessionHost
+
+__all__ = [
+    "HostedSession",
+    "ServeDaemon",
+    "ServiceClient",
+    "SessionHost",
+    "serve_main",
+]

@@ -1,0 +1,453 @@
+"""Typed request/response wire protocol for the key-service daemon.
+
+Every frame on a ``repro serve`` connection is the dispatch layer's
+length-prefixed pickle (:func:`repro.dispatch.socket_pool.send_frame` /
+:class:`~repro.dispatch.socket_pool.FrameDecoder`, decoded through
+:func:`repro.dispatch.wire.loads_restricted`), but the *payload* is a
+plain dict of containers and scalars only — no class ever rides the
+wire, so the restricted unpickler's ``find_class`` allowlist stays
+exactly as small as the sweep dispatcher left it.  The typing lives at
+both endpoints instead: requests and responses are frozen dataclasses
+that :func:`encode_request`/:func:`decode_request` and
+:func:`encode_response`/:func:`decode_response` map onto those dicts,
+validating shape on the way in and surfacing every malformation as a
+typed ``bad-request`` failure, never a raw exception.
+
+Frame shapes
+------------
+* client → ``{"kind": "hello", "protocol": 1, "repro": ..., "client": ...}``
+* daemon → ``{"kind": "welcome", "protocol": 1}`` or ``{"kind":
+  "reject", "reason": ...}`` (version mismatch: the stray client is
+  turned away, the daemon keeps serving everyone else);
+* client → ``{"kind": <request kind>, "req": <id>, ...fields}`` — the
+  ``req`` id is an opaque client-chosen token echoed in the response
+  (responses arrive in request order; the echo lets pipelining clients
+  pair them without counting);
+* daemon → ``{"kind": <response kind>, "req": <id>, ...fields}`` or the
+  typed failure frame ``{"kind": "fail", "req": <id>, "code": ...,
+  "message": ...}``.
+
+Failure codes are the :data:`FAILURE_CODES` catalog; the client
+re-raises them as :class:`~repro.errors.ServiceError` with ``code``
+intact.  ``busy`` is the backpressure signal: a session's bounded send
+queue is full (or the host's session table is), and the request was
+refused *without* side effects — retry after draining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Mapping
+
+from ..errors import ServiceError
+from ..service.emulated_channel import Delivery
+
+SERVE_PROTOCOL = 1
+"""Daemon/client wire-protocol version, checked in the handshake."""
+
+DEFAULT_MAX_PENDING = 64
+"""Default bound on a session's unflushed send queue (the ``busy``
+backpressure threshold)."""
+
+# The failure-code catalog.  Every daemon refusal is exactly one of
+# these; tests and clients match on the code, not the message.
+BUSY = "busy"
+UNKNOWN_SESSION = "unknown-session"
+DUPLICATE_SESSION = "duplicate-session"
+NOT_A_MEMBER = "not-a-member"
+FORMER_MEMBER = "former-member"
+BAD_REQUEST = "bad-request"
+INVALID_CONFIG = "invalid-config"
+REKEY_FAILED = "rekey-failed"
+SHUTTING_DOWN = "shutting-down"
+INTERNAL = "internal"
+
+FAILURE_CODES = frozenset(
+    {
+        BUSY,
+        UNKNOWN_SESSION,
+        DUPLICATE_SESSION,
+        NOT_A_MEMBER,
+        FORMER_MEMBER,
+        BAD_REQUEST,
+        INVALID_CONFIG,
+        REKEY_FAILED,
+        SHUTTING_DOWN,
+        INTERNAL,
+    }
+)
+
+
+def _as_dict(obj) -> dict:
+    """Field dict of a protocol dataclass (shallow: fields are plain)."""
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpenSession:
+    """Create a session; the opening connection is attached to it."""
+
+    KIND: ClassVar[str] = "open-session"
+
+    name: str
+    n: int = 8
+    channels: int = 2
+    t: int = 1
+    mode: str = "preshared"  # or "group": run the full Section 6 setup
+    adversary: str | None = None  # gallery name; None = quiet network
+    members: tuple[int, ...] = ()  # preshared mode; () = every node
+    rekey_interval: int = 0  # scheduled rekey every N emulated rounds
+    max_pending: int = DEFAULT_MAX_PENDING
+
+
+@dataclass(frozen=True)
+class JoinSession:
+    """Attach this connection to an existing session."""
+
+    KIND: ClassVar[str] = "join-session"
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LeaveSession:
+    """Detach this connection from a session (the session persists)."""
+
+    KIND: ClassVar[str] = "leave-session"
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CloseSession:
+    """Tear a session down; its name becomes reusable."""
+
+    KIND: ClassVar[str] = "close-session"
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SendMessage:
+    """Enqueue one broadcast (bounded queue: may fail ``busy``)."""
+
+    KIND: ClassVar[str] = "send"
+
+    name: str
+    sender: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class Flush:
+    """Drain the session queue, one message per emulated round."""
+
+    KIND: ClassVar[str] = "flush"
+
+    name: str
+    max_rounds: int | None = None
+
+
+@dataclass(frozen=True)
+class DrainInbox:
+    """A member's deliveries since this connection last drained them."""
+
+    KIND: ClassVar[str] = "drain-inbox"
+
+    name: str
+    member: int
+    include_former: bool = False
+
+
+@dataclass(frozen=True)
+class Rekey:
+    """Exclude compromised members and switch to a fresh group key."""
+
+    KIND: ClassVar[str] = "rekey"
+
+    name: str
+    compromised: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class SessionStatsReq:
+    """Accounting snapshot for one session."""
+
+    KIND: ClassVar[str] = "stats"
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ListSessions:
+    """Names of every live session."""
+
+    KIND: ClassVar[str] = "list-sessions"
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Stop the daemon (acknowledged before the listener closes)."""
+
+    KIND: ClassVar[str] = "shutdown"
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionOpened:
+    KIND: ClassVar[str] = "session-opened"
+
+    name: str
+    members: tuple[int, ...]
+    mode: str
+    epoch_length: int
+    setup_rounds: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class SessionJoined:
+    KIND: ClassVar[str] = "session-joined"
+
+    name: str
+    members: tuple[int, ...]
+    generation: int
+
+
+@dataclass(frozen=True)
+class SessionLeft:
+    KIND: ClassVar[str] = "session-left"
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SessionClosed:
+    KIND: ClassVar[str] = "session-closed"
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Sent:
+    KIND: ClassVar[str] = "sent"
+
+    name: str
+    pending: int
+
+
+@dataclass(frozen=True)
+class Flushed:
+    """Flush outcome.
+
+    ``deliveries`` are ``(member, emulated_round, sender, payload)``
+    tuples in delivery order; ``rekeys`` are the scheduled re-keys the
+    flush triggered, as :func:`rekey_tuple` rows.
+    """
+
+    KIND: ClassVar[str] = "flushed"
+
+    name: str
+    deliveries: tuple[tuple[int, int, int, bytes], ...]
+    emulated_rounds: int
+    pending: int
+    rekeys: tuple[tuple, ...] = ()
+
+
+@dataclass(frozen=True)
+class InboxBatch:
+    """``(emulated_round, sender, payload)`` rows for one member."""
+
+    KIND: ClassVar[str] = "inbox"
+
+    name: str
+    member: int
+    deliveries: tuple[tuple[int, int, bytes], ...]
+
+
+@dataclass(frozen=True)
+class RekeyDone:
+    KIND: ClassVar[str] = "rekey-done"
+
+    name: str
+    generation: int
+    distributor: int
+    members: tuple[int, ...]
+    excluded: tuple[int, ...]
+    dropped: tuple[int, ...]
+    rounds: int
+
+
+@dataclass(frozen=True)
+class SessionStatsInfo:
+    KIND: ClassVar[str] = "stats-info"
+
+    name: str
+    members: tuple[int, ...]
+    mode: str
+    generation: int
+    pending: int
+    attached: int
+    setup_rounds: int
+    emulated_rounds: int
+    real_rounds: int
+    sent: int
+    delivered: int
+    undelivered: int
+    rekeys: int
+
+
+@dataclass(frozen=True)
+class SessionList:
+    KIND: ClassVar[str] = "session-list"
+
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ShuttingDown:
+    KIND: ClassVar[str] = "shutting-down"
+
+
+@dataclass(frozen=True)
+class Failure:
+    """The typed failure frame — the only way errors cross the wire."""
+
+    KIND: ClassVar[str] = "fail"
+
+    code: str
+    message: str
+
+    def raise_(self) -> None:
+        raise ServiceError(self.code, self.message)
+
+
+REQUEST_TYPES: dict[str, type] = {
+    cls.KIND: cls
+    for cls in (
+        OpenSession, JoinSession, LeaveSession, CloseSession, SendMessage,
+        Flush, DrainInbox, Rekey, SessionStatsReq, ListSessions, Shutdown,
+    )
+}
+
+RESPONSE_TYPES: dict[str, type] = {
+    cls.KIND: cls
+    for cls in (
+        SessionOpened, SessionJoined, SessionLeft, SessionClosed, Sent,
+        Flushed, InboxBatch, RekeyDone, SessionStatsInfo, SessionList,
+        ShuttingDown, Failure,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Encode / decode
+# ----------------------------------------------------------------------
+
+
+def _normalise(value):
+    """Round pickled containers back to the dataclass field shapes.
+
+    Tuples of tuples survive pickling as-is; this only guards the
+    boundary cases (a list-typed axis from a hand-built client) so the
+    dataclasses always hold hashable tuples.
+    """
+    if isinstance(value, list):
+        return tuple(_normalise(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(_normalise(v) for v in value)
+    return value
+
+
+def _decode(types: Mapping[str, type], frame: object):
+    if not isinstance(frame, dict):
+        raise ServiceError(BAD_REQUEST, f"frame is not a dict: {frame!r}")
+    kind = frame.get("kind")
+    cls = types.get(kind)
+    if cls is None:
+        raise ServiceError(BAD_REQUEST, f"unknown frame kind {kind!r}")
+    payload = {
+        key: _normalise(value)
+        for key, value in frame.items()
+        if key not in ("kind", "req")
+    }
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ServiceError(
+            BAD_REQUEST, f"malformed {kind!r} frame: {exc}"
+        ) from None
+
+
+def encode_request(req_id: int, request) -> dict:
+    """Wire dict for ``request``, tagged with the client's ``req`` id."""
+    return {"kind": request.KIND, "req": req_id, **_as_dict(request)}
+
+
+def decode_request(frame: object) -> tuple[object, object]:
+    """``(req_id, request)``; malformation raises a ``bad-request``
+    :class:`~repro.errors.ServiceError` (the daemon answers it as a
+    typed failure frame — raw exceptions never reach the wire)."""
+    request = _decode(REQUEST_TYPES, frame)
+    req_id = frame.get("req") if isinstance(frame, dict) else None
+    return req_id, request
+
+
+def encode_response(req_id: object, response) -> dict:
+    """Wire dict for ``response``, echoing the request's ``req`` id."""
+    return {"kind": response.KIND, "req": req_id, **_as_dict(response)}
+
+
+def decode_response(frame: object) -> tuple[object, object]:
+    """``(req_id, response)`` — the client-side mirror of
+    :func:`decode_request`."""
+    response = _decode(RESPONSE_TYPES, frame)
+    req_id = frame.get("req") if isinstance(frame, dict) else None
+    return req_id, response
+
+
+# ----------------------------------------------------------------------
+# Delivery row helpers
+# ----------------------------------------------------------------------
+
+
+def delivery_row(member: int, delivery: Delivery) -> tuple[int, int, int, bytes]:
+    """The :class:`Flushed` wire row for one member's delivery."""
+    return (member, delivery.emulated_round, delivery.sender, delivery.payload)
+
+
+def inbox_row(delivery: Delivery) -> tuple[int, int, bytes]:
+    """The :class:`InboxBatch` wire row for one delivery."""
+    return (delivery.emulated_round, delivery.sender, delivery.payload)
+
+
+def row_delivery(row: tuple[int, int, bytes]) -> Delivery:
+    """Rebuild a typed :class:`~repro.service.emulated_channel.Delivery`
+    from an :func:`inbox_row` tuple (the client-side view)."""
+    emulated_round, sender, payload = row
+    return Delivery(
+        emulated_round=int(emulated_round),
+        sender=int(sender),
+        payload=bytes(payload),
+    )
+
+
+def rekey_tuple(report) -> tuple:
+    """The wire row for a :class:`~repro.service.session.RekeyReport`."""
+    return (
+        report.generation,
+        report.distributor,
+        tuple(report.members),
+        tuple(report.excluded),
+        tuple(report.dropped),
+        report.rounds,
+    )

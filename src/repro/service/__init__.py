@@ -7,13 +7,19 @@ Secrecy, and Authentication against the keyless adversary.
 
 from .emulated_channel import Delivery, LongLivedChannel, SERVICE_KIND
 from .pairwise import PairwiseChannel, PairwiseDelivery
-from .session import RekeyReport, SecureSession, SessionStats
+from .session import (
+    PresharedSetup,
+    RekeyReport,
+    SecureSession,
+    SessionStats,
+)
 
 __all__ = [
     "Delivery",
     "LongLivedChannel",
     "PairwiseChannel",
     "PairwiseDelivery",
+    "PresharedSetup",
     "RekeyReport",
     "SERVICE_KIND",
     "SecureSession",

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..crypto.dh import DEFAULT_GROUP, DhGroup
+from ..crypto.hashes import derive_key
 from ..crypto.hopping import ChannelHopper
 from ..crypto.stream import AuthenticatedCipher, Ciphertext, nonce_from_counter
 from ..errors import ConfigurationError, CryptoError
@@ -46,13 +47,44 @@ REKEY_KIND = "rekey-frame"
 
 @dataclass(frozen=True)
 class RekeyReport:
-    """Outcome of one re-keying operation."""
+    """Outcome of one re-keying operation.
+
+    ``excluded`` are the members deliberately skipped (the compromised
+    set); ``dropped`` are members that *should* have survived but did not
+    receive the fresh key — their Part 1 pair key with the distributor
+    was never established, or the adversary won every round of their
+    dissemination epoch.  The two sets are disjoint and together account
+    for every node that left ``members``: nobody vanishes silently.
+    """
 
     generation: int
     distributor: int
     members: tuple[int, ...]
     excluded: tuple[int, ...]
     rounds: int
+    dropped: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class PresharedSetup:
+    """Key material provisioned out of band (no Part 1-3 run).
+
+    Stand-in for :class:`~repro.groupkey.result.GroupKeyResult` when the
+    group secret was established offline (the paper's setup runs once;
+    a serving deployment re-opens sessions against stored material).
+    Pairwise keys are derived from the group secret per unordered pair,
+    so :meth:`SecureSession.rekey` works identically: every member can
+    act as distributor (``completed_leaders`` is the whole membership).
+    """
+
+    group_key: bytes
+    members: tuple[int, ...]
+    pairwise_keys: dict[frozenset[int], bytes]
+    completed_leaders: tuple[int, ...]
+
+    def holders(self) -> list[int]:
+        """Interface parity with ``GroupKeyResult.holders()``."""
+        return list(self.members)
 
 
 @dataclass
@@ -98,7 +130,7 @@ class SecureSession:
         self.network = network
         self.rng = rng or RngRegistry(seed=0)
         start = network.metrics.rounds
-        self.setup: GroupKeyResult = GroupKeyProtocol(
+        self.setup: GroupKeyResult | PresharedSetup = GroupKeyProtocol(
             network, self.rng, group=group
         ).run()
         key = self.setup.group_key
@@ -106,10 +138,59 @@ class SecureSession:
             raise ConfigurationError(
                 "setup failed: no leader completed the pairwise phase"
             )
-        self.members = self.setup.holders()
-        self.channel = LongLivedChannel(network, key, self.members, self.rng)
-        self.stats = SessionStats(
+        self._attach(
+            key,
+            self.setup.holders(),
             setup_rounds=network.metrics.rounds - start,
+        )
+
+    @classmethod
+    def from_preshared(
+        cls,
+        network: RadioNetwork,
+        group_key: bytes,
+        members: Sequence[int],
+        rng: RngRegistry | None = None,
+    ) -> "SecureSession":
+        """Open a session over an out-of-band group secret (no setup run).
+
+        The ``Θ(n t^3 log n)`` group-key establishment runs once; a
+        long-lived deployment (the ``repro.serve`` daemon) re-opens
+        sessions against stored key material instead of re-running it per
+        session.  Pairwise keys for :meth:`rekey` are derived from the
+        group secret per unordered member pair, every member counts as a
+        complete leader, and ``setup_rounds`` is zero.  Traffic, flush,
+        inbox, and re-keying semantics are identical to a set-up session.
+        """
+        member_ids = tuple(sorted(set(int(m) for m in members)))
+        secret = bytes(group_key)
+        pairwise = {
+            frozenset((a, b)): derive_key(secret, "preshared-pair", a, b)
+            for i, a in enumerate(member_ids)
+            for b in member_ids[i + 1 :]
+        }
+        self = cls.__new__(cls)
+        self.network = network
+        self.rng = rng or RngRegistry(seed=0)
+        self.setup = PresharedSetup(
+            group_key=secret,
+            members=member_ids,
+            pairwise_keys=pairwise,
+            completed_leaders=member_ids,
+        )
+        self._attach(secret, member_ids, setup_rounds=0)
+        return self
+
+    def _attach(
+        self, key: bytes, members: Iterable[int], *, setup_rounds: int
+    ) -> None:
+        """Bind the session to its first channel (shared constructor tail)."""
+        self.members = list(members)
+        self.channel = LongLivedChannel(
+            self.network, key, self.members, self.rng
+        )
+        self.stats = SessionStats(
+            setup_rounds=setup_rounds,
             inboxes={m: [] for m in self.members},
         )
         self._queue: deque[tuple[int, bytes]] = deque()
@@ -133,14 +214,23 @@ class SecureSession:
     def flush(self, max_rounds: int | None = None) -> list[Delivery]:
         """Drain the queue, one message per emulated round.
 
+        ``max_rounds`` budgets the emulated rounds **of this call**: a
+        session that has already run any number of rounds still drains up
+        to ``max_rounds`` messages per invocation, so repeated budgeted
+        flushes make progress.  (The budget used to be compared against
+        the lifetime ``stats.emulated_rounds``, silently draining nothing
+        once the session had ever run that many rounds.)
+
         Returns the deliveries observed by receivers (deduplicated per
         emulated round: one entry per receiving member).
         """
         out: list[Delivery] = []
         start = self.network.metrics.rounds
+        used = 0
         while self._queue:
-            if max_rounds is not None and self.stats.emulated_rounds >= max_rounds:
+            if max_rounds is not None and used >= max_rounds:
                 break
+            used += 1
             sender, payload = self._queue.popleft()
             deliveries = self.channel.run_round({sender: payload})
             self.stats.emulated_rounds += 1
@@ -162,10 +252,26 @@ class SecureSession:
         self.channel.run_round({})
         self.stats.emulated_rounds += 1
 
-    def inbox(self, member: int) -> list[Delivery]:
-        """All authenticated deliveries ``member`` has received."""
+    def inbox(
+        self, member: int, *, include_former: bool = False
+    ) -> list[Delivery]:
+        """All authenticated deliveries ``member`` has received.
+
+        Membership is checked against the **current** members, not the
+        historical inbox keys: a node excluded or dropped by a re-key is
+        no longer a member even though its pre-rekey inbox survives.
+        Reading a former member's history requires the explicit
+        ``include_former=True``; a node that was never a member raises
+        regardless.
+        """
         if member not in self.stats.inboxes:
             raise ConfigurationError(f"node {member} is not a member")
+        if member not in self.members and not include_former:
+            raise ConfigurationError(
+                f"node {member} is a former member (excluded or dropped "
+                "by a re-key); pass include_former=True to read its "
+                "historical inbox"
+            )
         return list(self.stats.inboxes[member])
 
     # ------------------------------------------------------------------
@@ -183,6 +289,12 @@ class SecureSession:
         epoch scheduled and hold none of the other pairs' keys, so the new
         group key is information they never see; the old channel is torn
         down immediately.
+
+        A surviving member that nevertheless missed the fresh key — its
+        pair key with the distributor was never established, or its whole
+        epoch was jammed — is reported in :attr:`RekeyReport.dropped`
+        (disjoint from ``excluded``), and frames carrying a stale
+        generation number are rejected outright.
         """
         excluded = frozenset(int(v) for v in compromised)
         pair_keys = self.setup.pairwise_keys
@@ -205,6 +317,7 @@ class SecureSession:
             self.network.n, self.network.t
         )
         new_members = [distributor]
+        dropped: list[int] = []
         recipients = [
             m
             for m in self.channel.members
@@ -213,7 +326,11 @@ class SecureSession:
         for epoch_index, member in enumerate(recipients):
             pair_key = pair_keys.get(frozenset((distributor, member)))
             if pair_key is None:
-                continue  # never established in Part 1: stays excluded
+                # Never established in Part 1: the distributor has no
+                # private channel to this member, so it cannot receive
+                # the fresh key.  Accounted for in ``dropped``.
+                dropped.append(member)
+                continue
             hopper = ChannelHopper(
                 pair_key,
                 self.network.channels,
@@ -261,7 +378,12 @@ class SecureSession:
                 if received or frame is None or frame.kind != REKEY_KIND:
                     continue
                 try:
-                    _gen, sealed_tuple = frame.payload
+                    frame_gen, sealed_tuple = frame.payload
+                    if frame_gen != generation:
+                        # Stale generation: a replayed rekey frame from
+                        # an earlier epoch must never vouch for the
+                        # current one, whatever it decrypts to.
+                        continue
                     opened = cipher.decrypt(
                         Ciphertext.from_tuple(sealed_tuple),
                         associated=b"rekey",
@@ -272,6 +394,10 @@ class SecureSession:
                     received = True
             if received:
                 new_members.append(member)
+            else:
+                # The adversary won every round of this member's epoch:
+                # it survives the compromise but missed the new key.
+                dropped.append(member)
 
         self.members = sorted(new_members)
         self.channel = LongLivedChannel(
@@ -285,5 +411,6 @@ class SecureSession:
             members=tuple(self.members),
             excluded=tuple(sorted(excluded)),
             rounds=self.network.metrics.rounds - start,
+            dropped=tuple(sorted(dropped)),
         )
         return report
