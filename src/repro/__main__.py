@@ -16,6 +16,10 @@ Commands
 ``worker``      join a socket-backend sweep as a worker process (connects
                 to the coordinator, pulls batches of trials until shutdown;
                 ``--batch-size`` on the sweep side pins the batch size)
+``scenario``    list/run entries of the declarative attack-scenario
+                registry (``repro.scenarios``): ``run NAME...`` exits 0
+                iff every observed outcome matches the registered
+                expectation, ``gauntlet`` runs the whole catalog
 ``lint``        run the determinism & wire-safety static analyzer
                 (:mod:`repro.lint`) over the tree; exit 0 clean, 1 on
                 findings, 2 on usage errors — CI self-hosts it over
@@ -155,18 +159,24 @@ def _emit_report(
 
 
 def cmd_montecarlo(args: argparse.Namespace) -> int:
-    runner = MonteCarloRunner(
-        args.workload,
-        args.trials,
-        seed=args.seed,
-        workers=args.workers,
-        chunksize=args.chunksize,
-        n=args.nodes,
-        channels=args.channels,
-        t=args.strength,
-        pairs=args.pairs,
-        adversary=args.adversary,
-    )
+    try:
+        runner = MonteCarloRunner(
+            args.workload,
+            args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            chunksize=args.chunksize,
+            n=args.nodes,
+            channels=args.channels,
+            t=args.strength,
+            pairs=args.pairs,
+            adversary=args.adversary,
+        )
+    except ConfigurationError as exc:
+        # --workload is an open set now (scenario:NAME registers lazily),
+        # so bad names surface here instead of in argparse choices.
+        print(f"repro montecarlo: {exc}", file=sys.stderr)
+        return 2
     report = runner.run()
     whp = {True: "ok", False: "FAILED", None: "uninformative"}[
         report.whp_claim
@@ -261,6 +271,50 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if report.whp_failures() else 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    # Imported on demand: the catalog pulls in the serve stack, which
+    # the lightweight demo commands should not pay for.
+    from .errors import ScenarioError
+    from .scenarios import get_scenario, run_gauntlet, scenario_names
+
+    if args.action == "list":
+        for name in scenario_names():
+            scen = get_scenario(name)
+            print(
+                f"  {name:34} [{scen.layer:8}] "
+                f"expects {scen.expected.describe()}"
+            )
+        return 0
+    if args.action == "run" and not args.names:
+        print(
+            "repro scenario: run needs at least one scenario name "
+            "(see `repro scenario list`)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_gauntlet(
+            tuple(args.names) if args.names else None, seed=args.seed
+        )
+    except ScenarioError as exc:
+        print(f"repro scenario: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out is None:
+        for run in report.runs:
+            verdict = "ok" if run.matched else "MISMATCH"
+            line = (
+                f"  {run.name:34} [{run.layer:8}] {verdict}: "
+                f"expected {run.expected.describe()}"
+            )
+            if not run.matched:
+                line += f", observed {run.observed.describe()}"
+            print(line)
+        print(report.summary_line())
+    else:
+        _emit_report(report.as_dict(), args.json_out, report.summary_line())
+    return 0 if report.all_matched() else 1
+
+
 def cmd_worker(args: argparse.Namespace) -> int:
     try:
         host, port = parse_endpoint(args.connect)
@@ -314,11 +368,23 @@ def _serve_client_action(client, args: argparse.Namespace) -> int:
         print("daemon shutting down")
         return 0
     if args.session is None:
+        noun = (
+            "a scenario name" if args.action == "scenario"
+            else "a session name"
+        )
         print(
-            f"repro serve-client: {args.action} needs a session name",
+            f"repro serve-client: {args.action} needs {noun}",
             file=sys.stderr,
         )
         return 2
+    if args.action == "scenario":
+        out = client.run_scenario(args.session, seed=args.seed)
+        verdict = "ok" if out.matched else "MISMATCH"
+        print(
+            f"{out.name} [{out.layer}] seed={out.seed} {verdict}: "
+            f"expected {out.expected} observed {out.observed}"
+        )
+        return 0 if out.matched else 1
     if args.action == "open":
         opened = client.open_session(
             args.session,
@@ -445,7 +511,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="trials per worker dispatch (default: trials // (workers * 4))",
     )
     mc.add_argument(
-        "--workload", choices=sorted(WORKLOADS), default="fame"
+        "--workload",
+        default="fame",
+        help=f"one of {sorted(WORKLOADS)}, or scenario:NAME to sweep a "
+        "registered attack scenario over trial seeds",
     )
     mc.add_argument(
         "--json-out",
@@ -532,6 +601,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.set_defaults(handler=cmd_sweep)
 
+    sn = sub.add_parser(
+        "scenario",
+        help="run entries of the declarative attack-scenario registry",
+        description="The repro.scenarios registry pairs each attack "
+        "(gallery adversaries, byzantine deviators, replay/spoof/race "
+        "injectors) with a typed expected outcome — AttackRejected, "
+        "KeyMismatchDetected, SessionAborted(code), WhpBoundHolds, or an "
+        "explicitly asserted SafetyViolated/LivenessLost.  `run NAME...` "
+        "and `gauntlet` exit 0 iff every observed outcome equals its "
+        "registered expectation; every run is deterministic in --seed.  "
+        "Scenarios also sweep as `--workload scenario:NAME` under "
+        "montecarlo/sweep.",
+        epilog="example: python -m repro scenario gauntlet --json-out "
+        "gauntlet.json",
+    )
+    sn.add_argument("action", choices=("list", "run", "gauntlet"))
+    sn.add_argument(
+        "names", nargs="*",
+        help="scenario names (required for run; optional subset for "
+        "gauntlet)",
+    )
+    sn.add_argument("--seed", type=int, default=0)
+    sn.add_argument(
+        "--json-out", type=Path, default=None,
+        help="write the JSON gauntlet report to this file (trailing "
+        "newline) and print only a one-line summary to stdout",
+    )
+    sn.set_defaults(handler=cmd_scenario)
+
     wk = sub.add_parser(
         "worker",
         help="join a socket-backend sweep as a worker process",
@@ -580,16 +678,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="talk to a running key-service daemon",
         description="Actions: list; open NAME; demo NAME (send a few "
         "messages, flush, read an inbox); stats NAME; rekey NAME "
-        "[--compromised IDS]; shutdown.",
+        "[--compromised IDS]; scenario NAME [--seed N] (run a registered "
+        "attack scenario inside the daemon); shutdown.",
         epilog="example: python -m repro serve-client --connect "
         "127.0.0.1:7410 demo alpha",
     )
     sc.add_argument("--connect", required=True, help="daemon HOST:PORT")
     sc.add_argument(
         "action",
-        choices=("list", "open", "demo", "stats", "rekey", "shutdown"),
+        choices=(
+            "list", "open", "demo", "stats", "rekey", "scenario",
+            "shutdown",
+        ),
     )
     sc.add_argument("session", nargs="?", default=None)
+    sc.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario action: the seed the daemon runs the scenario at",
+    )
     sc.add_argument("--nodes", "-n", type=int, default=8)
     sc.add_argument("--channels", "-c", type=int, default=2)
     sc.add_argument("--strength", "-t", type=int, default=1)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Sequence
 
+from ..errors import ConfigurationError
 from ..radio.messages import JAM, Transmission
 from .base import Adversary
 
@@ -33,7 +34,7 @@ class RandomJammer(Adversary):
 
     def __init__(self, rng: random.Random, intensity: float = 1.0) -> None:
         if not 0.0 < intensity <= 1.0:
-            raise ValueError("intensity must be in (0, 1]")
+            raise ConfigurationError("intensity must be in (0, 1]")
         self._rng = rng
         self._intensity = intensity
 
@@ -58,7 +59,7 @@ class SweepJammer(Adversary):
 
     def __init__(self, stride: int = 1) -> None:
         if stride < 1:
-            raise ValueError("stride must be >= 1")
+            raise ConfigurationError("stride must be >= 1")
         self._stride = stride
 
     def act(self, view: "AdversaryView") -> Sequence[Transmission]:
@@ -83,7 +84,7 @@ class ReactiveJammer(Adversary):
 
     def __init__(self, rng: random.Random, window: int = 4) -> None:
         if window < 1:
-            raise ValueError("window must be >= 1")
+            raise ConfigurationError("window must be >= 1")
         self._rng = rng
         self._window = window
 

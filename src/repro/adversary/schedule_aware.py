@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Collection, Sequence
 
+from ..errors import ConfigurationError
 from ..radio.messages import JAM, Transmission
 from .base import Adversary
 
@@ -62,7 +63,9 @@ class ScheduleAwareJammer(Adversary):
         jam_feedback: bool = True,
     ) -> None:
         if policy not in VICTIM_POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; pick from {VICTIM_POLICIES}")
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; pick from {VICTIM_POLICIES}"
+            )
         self._rng = rng
         self._policy = policy
         self._victims = frozenset(victims)

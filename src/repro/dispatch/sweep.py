@@ -43,7 +43,7 @@ from ..experiments.trial import TrialResult, TrialSpec
 from ..experiments.workloads import (
     ADVERSARY_FACTORIES,
     WORKLOAD_USES_ADVERSARY,
-    WORKLOADS,
+    make_workload,
 )
 from ..rng import derive_seed, derive_seeds
 from .backend import DispatchBackend, SerialBackend
@@ -106,11 +106,11 @@ class SweepSpec:
                 raise ConfigurationError(
                     f"sweep axis {name!r} contains duplicates: {axis}"
                 )
-        unknown = [w for w in self.workloads if w not in WORKLOADS]
-        if unknown:
-            raise ConfigurationError(
-                f"unknown workloads {unknown}; pick from {sorted(WORKLOADS)}"
-            )
+        for w in self.workloads:
+            # Resolves gallery workloads and lazily registers
+            # ``scenario:NAME`` ones (populating the adversary-blind
+            # map consulted below); unknown names raise typed here.
+            make_workload(w)
         unknown = [a for a in self.adversaries if a not in ADVERSARY_FACTORIES]
         if unknown:
             raise ConfigurationError(

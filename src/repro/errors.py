@@ -102,6 +102,17 @@ class ServiceError(ReproError):
         self.detail = message
 
 
+class ScenarioError(ConfigurationError):
+    """Raised for attack-scenario registry misuse (:mod:`repro.scenarios`).
+
+    Examples: looking up a scenario name that was never registered,
+    registering two scenarios under one name, or declaring a scenario
+    without a typed expected outcome.  A :class:`ConfigurationError`
+    subtype so sweep/CLI surfaces that already map configuration
+    problems to exit code 2 keep doing so for scenario workloads.
+    """
+
+
 class CryptoError(ReproError):
     """Raised for failures in the from-scratch crypto substrate.
 

@@ -28,10 +28,12 @@ from .runner import MonteCarloReport, MonteCarloRunner
 from .trial import TrialResult, TrialSpec, trial_seed
 from .workloads import (
     ADVERSARY_FACTORIES,
+    SCENARIO_WORKLOAD_PREFIX,
     WORKLOAD_USES_ADVERSARY,
     WORKLOADS,
     default_pairs,
     make_adversary,
+    make_workload,
     run_trial,
 )
 
@@ -39,12 +41,14 @@ __all__ = [
     "ADVERSARY_FACTORIES",
     "MonteCarloReport",
     "MonteCarloRunner",
+    "SCENARIO_WORKLOAD_PREFIX",
     "TrialResult",
     "TrialSpec",
     "WORKLOAD_USES_ADVERSARY",
     "WORKLOADS",
     "default_pairs",
     "make_adversary",
+    "make_workload",
     "run_trial",
     "trial_seed",
 ]

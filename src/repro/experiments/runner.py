@@ -39,7 +39,7 @@ from ..errors import ConfigurationError
 from ..radio.metrics import NetworkMetrics
 from ..rng import derive_seeds
 from .trial import TrialResult, TrialSpec
-from .workloads import ADVERSARY_FACTORIES, WORKLOADS
+from .workloads import ADVERSARY_FACTORIES, make_workload
 
 if TYPE_CHECKING:  # avoid a runtime cycle: dispatch imports workloads
     from ..dispatch.backend import DispatchBackend
@@ -178,10 +178,9 @@ class MonteCarloRunner:
         adversary: str = "schedule",
         options: tuple[tuple[str, Any], ...] = (),
     ) -> None:
-        if workload not in WORKLOADS:
-            raise ConfigurationError(
-                f"unknown workload {workload!r}; pick from {sorted(WORKLOADS)}"
-            )
+        # Resolves gallery workloads and lazily registers scenario:NAME
+        # ones; unknown names raise ConfigurationError with the catalog.
+        make_workload(workload)
         if adversary not in ADVERSARY_FACTORIES:
             raise ConfigurationError(
                 f"unknown adversary {adversary!r}; pick from "

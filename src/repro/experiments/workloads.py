@@ -99,6 +99,73 @@ def register_workload(
     return register
 
 
+SCENARIO_WORKLOAD_PREFIX = "scenario:"
+"""Workload-name prefix that maps onto the attack-scenario registry.
+
+``scenario:NAME`` runs :func:`repro.scenarios.run_scenario` once per
+trial at the trial's seed; success is "observed outcome == expected".
+Registration is lazy (first resolution imports :mod:`repro.scenarios`)
+so the experiments layer keeps no import edge to the serve stack, and
+workers resolve the name themselves — only :class:`TrialSpec` /
+:class:`TrialResult` ever cross the dispatch wire.
+"""
+
+
+def _register_scenario_workload(workload_name: str, scenario_name: str):
+    from ..scenarios import encode_outcome, get_scenario, run_scenario
+
+    get_scenario(scenario_name)  # typed error for unknown names, eagerly
+
+    def scenario_trial(spec: TrialSpec) -> TrialResult:
+        run = run_scenario(scenario_name, seed=spec.seed)
+        return TrialResult(
+            index=spec.index,
+            seed=spec.seed,
+            success=run.matched,
+            failed_pairs=(),
+            metrics=run.metrics,
+            detail=(
+                ("attack", run.attack),
+                ("expected", encode_outcome(run.expected)),
+                ("layer", run.layer),
+                ("observed", encode_outcome(run.observed)),
+                ("scenario", run.name),
+            )
+            + run.detail,
+            # Scenario outcomes are typed, not pair-graphs: no cover
+            # search to run.
+            cover=0,
+        )
+
+    # Scenarios pin their own model and adversary: the spec's n/C/t and
+    # adversary axes are ignored, so multi-adversary grids are rejected
+    # exactly like the gauntlet workload.
+    WORKLOADS[workload_name] = scenario_trial
+    WORKLOAD_USES_ADVERSARY[workload_name] = False
+    return scenario_trial
+
+
+def make_workload(name: str) -> Callable[[TrialSpec], TrialResult]:
+    """Resolve a workload name, registering scenario workloads lazily.
+
+    The single lookup path shared by :func:`run_trial`, the Monte Carlo
+    runner, and :class:`repro.dispatch.sweep.SweepSpec` validation —
+    unknown names raise :class:`~repro.errors.ConfigurationError` (or
+    its :class:`~repro.errors.ScenarioError` subtype for a bad
+    ``scenario:`` suffix) everywhere, including inside worker processes.
+    """
+    fn = WORKLOADS.get(name)
+    if fn is not None:
+        return fn
+    if name.startswith(SCENARIO_WORKLOAD_PREFIX):
+        scenario_name = name[len(SCENARIO_WORKLOAD_PREFIX):]
+        return _register_scenario_workload(name, scenario_name)
+    raise ConfigurationError(
+        f"unknown workload {name!r}; pick from {sorted(WORKLOADS)} "
+        f"or {SCENARIO_WORKLOAD_PREFIX}NAME"
+    )
+
+
 def run_trial(spec: TrialSpec) -> TrialResult:
     """Execute one trial — the function shipped to worker processes.
 
@@ -106,12 +173,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
     the exact vertex-cover search parallelises with the trials instead of
     running serially in the aggregating parent.
     """
-    try:
-        fn = WORKLOADS[spec.workload]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown workload {spec.workload!r}; pick from {sorted(WORKLOADS)}"
-        ) from None
+    fn = make_workload(spec.workload)
     result = fn(spec)
     if result.cover is None:
         result = dataclasses.replace(result, cover=result.disruptability())

@@ -52,6 +52,14 @@ BYZANTINE_DATA_KIND = "byz-data"
 BYZANTINE_REPORT_KIND = "byz-report"
 
 
+VOTE_POLICIES = ("invert", "random", "equivocate")
+"""How a corrupt witness votes: ``invert`` flips the truth every time
+(the original model), ``random`` draws a fresh coin per repetition, and
+``equivocate`` alternates flags across repetitions — broadcasting *both*
+answers for the same slot, the collusion signature a
+:class:`~repro.scenarios.injectors.CollusionTracker` detects."""
+
+
 @dataclass(frozen=True)
 class CorruptionModel:
     """Which nodes are corrupt and how they misbehave.
@@ -65,21 +73,47 @@ class CorruptionModel:
     garble_messages:
         Corrupt sources replace their payload with junk.
     lie_in_feedback:
-        Corrupt witnesses invert the flag they report.
+        Corrupt witnesses misreport their feedback flag.
+    vote_policy:
+        *How* a lying witness misreports — one of :data:`VOTE_POLICIES`.
+        Only consulted when ``lie_in_feedback`` is set; ``invert``
+        reproduces the original always-lie behaviour exactly (and draws
+        no randomness, so pre-existing executions stay byte-identical).
     """
 
     corrupt: frozenset[int] = frozenset()
     garble_messages: bool = True
     lie_in_feedback: bool = True
+    vote_policy: str = "invert"
+
+    def __post_init__(self) -> None:
+        if self.vote_policy not in VOTE_POLICIES:
+            raise ConfigurationError(
+                f"unknown vote policy {self.vote_policy!r}; "
+                f"pick from {VOTE_POLICIES}"
+            )
 
     @classmethod
-    def of(cls, *nodes: int, **kwargs: bool) -> "CorruptionModel":
+    def of(cls, *nodes: int, **kwargs) -> "CorruptionModel":
         """Convenience constructor: ``CorruptionModel.of(3, 7)``."""
         return cls(corrupt=frozenset(nodes), **kwargs)
 
     def is_corrupt(self, node: int) -> bool:
         """Whether ``node`` runs adversarial code."""
         return node in self.corrupt
+
+    def dishonest_flag(self, truth: bool, *, rep: int, coin) -> bool:
+        """The flag a corrupt witness reports in repetition ``rep``.
+
+        ``coin`` is the witness's own registry stream; only the
+        ``random`` policy draws from it, so the other policies perturb
+        no downstream randomness.
+        """
+        if self.vote_policy == "random":
+            return bool(coin.getrandbits(1))
+        if self.vote_policy == "equivocate":
+            return bool(rep % 2)
+        return not truth
 
 
 @dataclass
@@ -160,7 +194,7 @@ def _byzantine_feedback(
             group[i : i + channels] for i in range(0, len(group), channels)
         ]
         for rotation in rotations:
-            for _ in range(reps):
+            for rep in range(reps):
                 actions: dict[int, Action] = {}
                 broadcasters = set(rotation)
                 for rank, witness in enumerate(rotation):
@@ -168,7 +202,11 @@ def _byzantine_feedback(
                     if corruption.lie_in_feedback and corruption.is_corrupt(
                         witness
                     ):
-                        flag = not flag
+                        flag = corruption.dishonest_flag(
+                            flag,
+                            rep=rep,
+                            coin=rng.stream("byz-vote", witness),
+                        )
                     actions[witness] = Transmit(
                         rank,
                         Message(

@@ -31,6 +31,7 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..errors import ConfigurationError
 from .graph import EdgeItem, GameGraph, Item, NodeItem
 
 
@@ -85,7 +86,7 @@ def _select(
     if max_items is None:
         max_items = t + 1
     if max_items < t + 1:
-        raise ValueError("max_items must be at least t + 1")
+        raise ConfigurationError("max_items must be at least t + 1")
     items: list[Item] = [NodeItem(v) for v in p1[:max_items]]
     seen_dests: set[int] = set()
     if len(items) < max_items:

@@ -13,7 +13,7 @@ import abc
 import random
 from typing import Sequence
 
-from ..errors import GameRuleViolation
+from ..errors import ConfigurationError, GameRuleViolation
 from .graph import EdgeItem, GameGraph, Item, NodeItem
 
 
@@ -41,7 +41,7 @@ class SingleGrantReferee(Referee):
 
     def __init__(self, position: str = "last") -> None:
         if position not in ("first", "last"):
-            raise ValueError("position must be 'first' or 'last'")
+            raise ConfigurationError("position must be 'first' or 'last'")
         self._position = position
 
     def grant(self, graph: GameGraph, proposal: Sequence[Item], t: int) -> list[Item]:

@@ -16,6 +16,9 @@ Each rule is a small AST check with a stable id, grouped in three families
 * ``API0xx`` — API discipline: the picklable dataclasses that ride the
   wire must stay picklable and hashable, and seeds must be derived through
   :class:`repro.rng.RngRegistry`, never ad-hoc arithmetic.
+* ``SCN0xx`` — scenario-registry discipline: every
+  :mod:`repro.scenarios` registration must declare the typed outcome it
+  asserts, or the byzantine gauntlet degrades into a smoke test.
 
 Rules are *syntactic*: they resolve imported names (``import random as r``
 still flags ``r.Random()``) but do no data-flow analysis — a set bound to
@@ -596,6 +599,57 @@ class Api002AdHocSeed(Rule):
 
 
 # ----------------------------------------------------------------------
+# Scenario-registry family
+# ----------------------------------------------------------------------
+
+
+class Scn001ScenarioExpectedOutcome(Rule):
+    id = "SCN001"
+    title = "scenario registered without a typed expected outcome"
+    rationale = (
+        "A repro.scenarios entry is an executable claim: attack X "
+        "against target Y ends in exactly outcome Z. A registration "
+        "whose expected= is missing or a bare constant asserts nothing "
+        "— the gauntlet would trivially pass whatever happens. Every "
+        "@scenario(...) call must construct one of the typed outcomes "
+        "(AttackRejected, KeyMismatchDetected, SessionAborted, "
+        "WhpBoundHolds, SafetyViolated, LivenessLost); the registry "
+        "re-validates at import time, but only for code that runs — "
+        "this rule covers registrations CI never imports."
+    )
+    protocol_only = True
+
+    _DECORATORS = frozenset(
+        ("repro.scenarios.scenario", "repro.scenarios.registry.scenario")
+    )
+
+    def check(self, ctx: "FileContext") -> Iterator[RawFinding]:
+        for node in ctx.walk(ast.Call):
+            if ctx.resolve(node.func) not in self._DECORATORS:
+                continue
+            expected = next(
+                (kw.value for kw in node.keywords if kw.arg == "expected"),
+                None,
+            )
+            if expected is None:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "scenario registered without expected=...; declare "
+                    "the typed outcome the run must produce "
+                    "(repro.scenarios.outcomes)",
+                )
+            elif isinstance(expected, ast.Constant):
+                yield (
+                    expected.lineno,
+                    expected.col_offset,
+                    f"expected={expected.value!r} is not a typed "
+                    "outcome; construct one of the "
+                    "repro.scenarios.outcomes dataclasses",
+                )
+
+
+# ----------------------------------------------------------------------
 # Registry and module allowlist
 # ----------------------------------------------------------------------
 
@@ -610,6 +664,7 @@ RULES: dict[str, Rule] = {
         Wire002FrameMetering(),
         Api001WireDataclassFields(),
         Api002AdHocSeed(),
+        Scn001ScenarioExpectedOutcome(),
     )
 }
 """Every registered rule, keyed by id (sorted rendering is the catalog)."""

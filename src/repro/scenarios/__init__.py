@@ -1,0 +1,66 @@
+"""Declarative attack-scenario registry and gauntlet runner.
+
+Each scenario names a target protocol layer, an attack, and a typed
+expected outcome; see :mod:`repro.scenarios.registry` for the schema,
+:mod:`repro.scenarios.outcomes` for the outcome taxonomy (safety and
+liveness failures asserted separately), and
+:mod:`repro.scenarios.catalog` for the registered attacks.  Runnable
+one-off (``python -m repro scenario run NAME``), in bulk (``python -m
+repro scenario gauntlet``), as sweep workloads (``scenario:NAME``), and
+through the serve daemon (the ``RunScenario`` request).
+``docs/SCENARIOS.md`` is the guide.
+"""
+
+from __future__ import annotations
+
+from .outcomes import (
+    OUTCOME_TYPES,
+    AttackRejected,
+    KeyMismatchDetected,
+    LivenessLost,
+    Outcome,
+    SafetyViolated,
+    SessionAborted,
+    WhpBoundHolds,
+    classify,
+    decode_outcome,
+    encode_outcome,
+)
+from .registry import (
+    LAYERS,
+    SCENARIOS,
+    Scenario,
+    ScenarioContext,
+    get_scenario,
+    scenario,
+    scenario_names,
+)
+from .runner import GauntletReport, ScenarioRun, run_gauntlet, run_scenario
+
+# Importing the catalog registers the built-in scenarios.
+from . import catalog as _catalog  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "LAYERS",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioContext",
+    "scenario",
+    "get_scenario",
+    "scenario_names",
+    "Outcome",
+    "AttackRejected",
+    "KeyMismatchDetected",
+    "SessionAborted",
+    "WhpBoundHolds",
+    "SafetyViolated",
+    "LivenessLost",
+    "OUTCOME_TYPES",
+    "encode_outcome",
+    "decode_outcome",
+    "classify",
+    "ScenarioRun",
+    "GauntletReport",
+    "run_scenario",
+    "run_gauntlet",
+]

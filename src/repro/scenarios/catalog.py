@@ -1,0 +1,615 @@
+"""The registered attack scenarios.
+
+Twenty-one scenarios across the four layers (channel, protocol,
+service, serve), each a few lines over one of the attack injectors or
+gallery adversaries, each declaring the typed outcome the defence is
+supposed to produce.  Importing this module populates
+:data:`repro.scenarios.registry.SCENARIOS`; runners never read clocks
+or unseeded randomness, so ``run_scenario(name, seed)`` is
+byte-identical wherever it executes (CLI, sweep worker, serve daemon).
+
+Conventions
+-----------
+* model parameters are pinned per scenario (an attack on ``n=12, C=2,
+  t=1`` *is* the scenario; sweeps vary the seed axis, not the shape);
+* observed outcomes never raise — a defence failing is reported as
+  :class:`~repro.scenarios.outcomes.SafetyViolated` /
+  :class:`~repro.scenarios.outcomes.LivenessLost`, so a gauntlet run
+  always completes and the report shows *which* guarantee broke;
+* ``ctx.note`` rows carry plain scalars only (they ride sweep
+  ``TrialResult.detail`` and the serve wire).
+"""
+
+from __future__ import annotations
+
+from ..crypto.dh import TEST_GROUP_128
+from ..errors import ConfigurationError
+from ..experiments.workloads import default_pairs, make_adversary
+from ..fame import run_fame
+from ..fame.byzantine import CorruptionModel, run_byzantine_exchange
+from ..groupkey import establish_group_key
+from ..radio.messages import Message
+from ..serve import protocol as p
+from ..serve.host import SessionHost
+from ..service.emulated_channel import SERVICE_KIND, LongLivedChannel
+from ..service.pairwise import PairwiseChannel
+from ..service.session import SecureSession
+from .injectors import (
+    CollusionTracker,
+    FrameInjector,
+    RekeyEpochTap,
+    captured_transmits,
+    crashed_sender,
+)
+from .outcomes import (
+    AttackRejected,
+    KeyMismatchDetected,
+    LivenessLost,
+    Outcome,
+    SafetyViolated,
+    SessionAborted,
+    WhpBoundHolds,
+    bound_outcome,
+)
+from .registry import ScenarioContext, scenario
+
+# The Byzantine exchange's canonical edge set: four vertex-disjoint
+# pairs at n=20 leave sixteen free nodes — enough for two witness
+# groups of 3(t+1)=6 per move, with node 8 a witness in every move
+# (never a source or destination), making it the canonical corrupt
+# witness for the feedback attacks.
+_BYZ_EDGES = ((0, 1), (2, 3), (4, 5), (6, 7))
+_BYZ_WITNESS = 8
+
+
+# ----------------------------------------------------------------------
+# Channel layer: the emulated broadcast channel's frame authentication
+# ----------------------------------------------------------------------
+
+
+@scenario(
+    "channel.sender-spoof",
+    layer="channel",
+    target="emulated-channel",
+    attack="sealed frame re-attributed to each receiver's own id",
+    expected=AttackRejected(mechanism="mac-associated-data"),
+)
+def _channel_sender_spoof(ctx: ScenarioContext) -> Outcome:
+    """A real member's sealed frame, claimed to come from someone else.
+
+    The associated data binds the true sender id, so the tag check
+    fails for every listener — including the frame's "own" claimed
+    recipient (port of the PR 9 spoofed-sender gauntlet test).
+    """
+    net = ctx.network(12, 2, 1)
+    ch = LongLivedChannel(net, ctx.group_key(), range(12))
+    sealed = ch.seal(0, b"m", 0).as_tuple()
+
+    def forge(view):
+        # cycle every id except 0, the true sealer (a frame
+        # re-attributed to its real sender is just the authentic frame)
+        victim = 1 + view.round_index % 11
+        return Message(
+            kind=SERVICE_KIND, sender=victim, payload=(victim, 0, sealed)
+        )
+
+    net.adversary = FrameInjector(forge)
+    out = ch.run_round({})  # silent round: only spoofs in the air
+    accepted = sorted(m for m, d in out.items() if d is not None)
+    ctx.note("accepted", tuple(accepted))
+    if accepted:
+        return SafetyViolated(invariant="spoofed sender accepted")
+    return AttackRejected(mechanism="mac-associated-data")
+
+
+@scenario(
+    "channel.cross-round-replay",
+    layer="channel",
+    target="emulated-channel",
+    attack="round-0 frame replayed into a later emulated round",
+    expected=AttackRejected(mechanism="emulated-round-binding"),
+)
+def _channel_cross_round_replay(ctx: ScenarioContext) -> Outcome:
+    """An authentic frame from emulated round 0, replayed into round 1.
+
+    The emulated round number rides the associated data *and* the clear
+    header; a replay carries a stale round and is dropped before any
+    crypto runs.
+    """
+    net = ctx.network(12, 2, 1)
+    ch = LongLivedChannel(net, ctx.group_key(), range(12))
+    replayed = Message(
+        kind=SERVICE_KIND,
+        sender=0,
+        payload=(0, 0, ch.seal(0, b"old", 0).as_tuple()),
+    )
+    first = ch.run_round({0: b"old"})  # round 0 delivers honestly
+    ctx.note("round0_delivered", sum(d is not None for d in first.values()))
+    net.adversary = FrameInjector(lambda view: replayed)
+    out = ch.run_round({})  # round 1: only replays in the air
+    accepted = sorted(m for m, d in out.items() if d is not None)
+    ctx.note("accepted", tuple(accepted))
+    if accepted:
+        return SafetyViolated(invariant="stale emulated round accepted")
+    return AttackRejected(mechanism="emulated-round-binding")
+
+
+@scenario(
+    "channel.tampered-ciphertext",
+    layer="channel",
+    target="emulated-channel",
+    attack="one flipped bit in an otherwise-authentic frame body",
+    expected=AttackRejected(mechanism="mac"),
+)
+def _channel_tampered_ciphertext(ctx: ScenarioContext) -> Outcome:
+    """A bit-flipped ciphertext with correct round and sender headers."""
+    net = ctx.network(12, 2, 1)
+    ch = LongLivedChannel(net, ctx.group_key(), range(12))
+    nonce, body, tag = ch.seal(0, b"secret", 0).as_tuple()
+    tampered = (nonce, bytes([body[0] ^ 1]) + body[1:], tag)
+    frame = Message(kind=SERVICE_KIND, sender=0, payload=(0, 0, tampered))
+    net.adversary = FrameInjector(lambda view: frame)
+    out = ch.run_round({})
+    accepted = sorted(m for m, d in out.items() if d is not None)
+    ctx.note("accepted", tuple(accepted))
+    if accepted:
+        return SafetyViolated(invariant="tampered ciphertext accepted")
+    return AttackRejected(mechanism="mac")
+
+
+# ----------------------------------------------------------------------
+# Protocol layer: f-AME / group key / Byzantine exchange under attack
+# ----------------------------------------------------------------------
+
+
+@scenario(
+    "fame.schedule-aware-jammer",
+    layer="protocol",
+    target="f-ame",
+    attack="gallery 'schedule' jammer (reads the published schedule)",
+    expected=WhpBoundHolds(bound=1),
+)
+def _fame_schedule_jammer(ctx: ScenarioContext) -> Outcome:
+    """Definition 1 under the strongest gallery jammer."""
+    adversary = make_adversary("schedule", ctx.rng.stream("adversary"))
+    net = ctx.network(20, 2, 1, adversary)
+    result = run_fame(
+        net, default_pairs(20, 5), rng=ctx.rng.spawn("fame")
+    )
+    cover = result.disruptability()
+    ctx.note("cover", cover)
+    ctx.note("failed", len(result.failed))
+    return bound_outcome(1, cover)
+
+
+@scenario(
+    "fame.spoofing-adversary",
+    layer="protocol",
+    target="f-ame",
+    attack="gallery spoofer injecting forged protocol frames",
+    expected=WhpBoundHolds(bound=1),
+)
+def _fame_spoofer(ctx: ScenarioContext) -> Outcome:
+    """Definition 1 under frame forgery instead of jamming."""
+    adversary = make_adversary("spoofer", ctx.rng.stream("adversary"))
+    net = ctx.network(20, 2, 1, adversary)
+    result = run_fame(
+        net, default_pairs(20, 5), rng=ctx.rng.spawn("fame")
+    )
+    cover = result.disruptability()
+    ctx.note("cover", cover)
+    return bound_outcome(1, cover)
+
+
+@scenario(
+    "groupkey.random-jammer",
+    layer="protocol",
+    target="group-key",
+    attack="gallery random jammer across the whole Section 6 run",
+    expected=WhpBoundHolds(bound=1),
+)
+def _groupkey_random_jammer(ctx: ScenarioContext) -> Outcome:
+    """All but ``t`` nodes must still adopt the group key."""
+    adversary = make_adversary("random", ctx.rng.stream("adversary"))
+    net = ctx.network(20, 2, 1, adversary)
+    result = establish_group_key(
+        net, ctx.rng.spawn("groupkey"), group=TEST_GROUP_128
+    )
+    holders = len(result.holders())
+    ctx.note("holders", holders)
+    return bound_outcome(1, 20 - holders)
+
+
+@scenario(
+    "byzantine.lying-witnesses",
+    layer="protocol",
+    target="byzantine-exchange",
+    attack="a corrupt witness inverting every feedback flag",
+    expected=WhpBoundHolds(bound=2),
+)
+def _byz_lying_witnesses(ctx: ScenarioContext) -> Outcome:
+    """The majority vote outlasts an always-lying witness (2t bound)."""
+    net = ctx.network(20, 2, 1)
+    result = run_byzantine_exchange(
+        net,
+        _BYZ_EDGES,
+        rng=ctx.rng.spawn("byz"),
+        corruption=CorruptionModel.of(_BYZ_WITNESS),
+    )
+    cover = result.disruptability()
+    ctx.note("cover", cover)
+    return bound_outcome(2, cover)
+
+
+@scenario(
+    "byzantine.random-votes",
+    layer="protocol",
+    target="byzantine-exchange",
+    attack="a corrupt witness voting by coin flip each repetition",
+    expected=WhpBoundHolds(bound=2),
+)
+def _byz_random_votes(ctx: ScenarioContext) -> Outcome:
+    """Random votes are no stronger than inverted ones: outvoted."""
+    net = ctx.network(20, 2, 1)
+    result = run_byzantine_exchange(
+        net,
+        _BYZ_EDGES,
+        rng=ctx.rng.spawn("byz"),
+        corruption=CorruptionModel.of(_BYZ_WITNESS, vote_policy="random"),
+    )
+    cover = result.disruptability()
+    ctx.note("cover", cover)
+    return bound_outcome(2, cover)
+
+
+@scenario(
+    "byzantine.equivocating-colluders",
+    layer="protocol",
+    target="byzantine-exchange",
+    attack="a corrupt witness broadcasting both flags for one slot",
+    expected=WhpBoundHolds(bound=2),
+)
+def _byz_equivocators(ctx: ScenarioContext) -> Outcome:
+    """Equivocation neither breaks the bound nor goes undetected.
+
+    The exchange must keep its 2t cover *and* the trace must convict
+    exactly the equivocating witness — an undetected colluder is a
+    safety failure even when the bound happens to hold.
+    """
+    net = ctx.network(20, 2, 1, keep_trace=True)
+    result = run_byzantine_exchange(
+        net,
+        _BYZ_EDGES,
+        rng=ctx.rng.spawn("byz"),
+        corruption=CorruptionModel.of(
+            _BYZ_WITNESS, vote_policy="equivocate"
+        ),
+    )
+    cover = result.disruptability()
+    caught = CollusionTracker().scan(net.trace).equivocators()
+    ctx.note("cover", cover)
+    ctx.note("equivocators", caught)
+    if caught != (_BYZ_WITNESS,):
+        return SafetyViolated(invariant="equivocating colluder undetected")
+    return bound_outcome(2, cover)
+
+
+@scenario(
+    "byzantine.garbling-source",
+    layer="protocol",
+    target="byzantine-exchange",
+    attack="a corrupt source garbling its own payload",
+    expected=SafetyViolated(invariant="garbled payload accepted"),
+    description="The model's conceded safety failure: a destination "
+    "cannot detect a corrupt source's garbling; the pair is charged to "
+    "the 2t cover instead.  The expected outcome is the safety "
+    "violation itself — the taxonomy asserts failures, not just wins.",
+)
+def _byz_garbling_source(ctx: ScenarioContext) -> Outcome:
+    net = ctx.network(20, 2, 1)
+    result = run_byzantine_exchange(
+        net,
+        _BYZ_EDGES,
+        rng=ctx.rng.spawn("byz"),
+        corruption=CorruptionModel.of(0),  # source of pair (0, 1)
+    )
+    cover = result.disruptability()
+    ctx.note("cover", cover)
+    ctx.note("garbled", tuple(sorted(result.garbled)))
+    if (0, 1) not in result.garbled:
+        return LivenessLost(service="garbled delivery never arrived")
+    if cover > 2:
+        return SafetyViolated(
+            invariant=f"disruptability {cover} > bound 2"
+        )
+    return SafetyViolated(invariant="garbled payload accepted")
+
+
+# ----------------------------------------------------------------------
+# Service layer: pairwise channels, sessions, re-keying
+# ----------------------------------------------------------------------
+
+
+@scenario(
+    "service.pairwise-replay",
+    layer="service",
+    target="pairwise-channel",
+    attack="exchange-0 frame replayed into exchange 1, sender crashed",
+    expected=LivenessLost(service="pairwise-delivery"),
+)
+def _service_pairwise_replay(ctx: ScenarioContext) -> Outcome:
+    """Replays must not masquerade as fresh traffic.
+
+    With the sender crashed, only replayed exchange-0 frames are in the
+    air during exchange 1; the claimed-exchange binding rejects every
+    one, so the honest outcome is *no* delivery — lost liveness, never
+    a stale payload accepted (port of the PR 9 pairwise-replay test).
+    """
+    net = ctx.network(12, 2, 1, keep_trace=True)
+    ch = PairwiseChannel(net, ctx.group_key(), 0, 1)
+    first = ch.send(0, b"old")
+    if first is None:
+        return LivenessLost(service="exchange-0-delivery")
+    frames = captured_transmits(net)
+    replayed = frames[-1]
+    net.adversary = FrameInjector(lambda view: replayed)
+    with crashed_sender(net):
+        second = ch.send(0, b"new")
+    if second is not None:
+        ctx.note("accepted_payload", bytes(second.payload))
+        return SafetyViolated(invariant="stale exchange accepted")
+    return LivenessLost(service="pairwise-delivery")
+
+
+@scenario(
+    "service.rekey-stale-replay",
+    layer="service",
+    target="rekey",
+    attack="generation-1 re-key epoch replayed into generation 2",
+    expected=KeyMismatchDetected(victims=(4,)),
+)
+def _service_rekey_stale_replay(ctx: ScenarioContext) -> Outcome:
+    """A member fed only stale re-key frames must be *dropped*, loudly.
+
+    The stale-generation check rejects the replayed frames, and the
+    report lists the victim in ``dropped`` — it must not come back
+    keyed with the obsolete generation-1 key (port of the PR 9 rekey
+    replay test).
+    """
+    net = ctx.network(6, 2, 1)
+    session = SecureSession.from_preshared(
+        net, ctx.group_key(), range(6), rng=ctx.rng.spawn("session")
+    )
+    victim = 4
+    tap = RekeyEpochTap(net, victim)
+    first = session.rekey([5])
+    if victim not in first.members:
+        tap.restore()
+        return LivenessLost(service="generation-1-rekey")
+    tap.replay(1)
+    second = session.rekey([])
+    tap.restore()
+    ctx.note("generation", second.generation)
+    ctx.note("dropped", tuple(second.dropped))
+    if victim in second.members:
+        return SafetyViolated(invariant="stale generation accepted")
+    if victim not in second.dropped:
+        return SafetyViolated(invariant="victim vanished silently")
+    return KeyMismatchDetected(victims=(victim,))
+
+
+@scenario(
+    "service.rekey-jammed-epoch",
+    layer="service",
+    target="rekey",
+    attack="a member's whole re-key dissemination epoch jammed silent",
+    expected=KeyMismatchDetected(victims=(4,)),
+)
+def _service_rekey_jammed_epoch(ctx: ScenarioContext) -> Outcome:
+    """Losing every round of the epoch drops the member detectably."""
+    net = ctx.network(6, 2, 1)
+    session = SecureSession.from_preshared(
+        net, ctx.group_key(), range(6), rng=ctx.rng.spawn("session")
+    )
+    victim = 4
+    tap = RekeyEpochTap(net, victim)
+    tap.suppress()
+    report = session.rekey([5])
+    tap.restore()
+    ctx.note("dropped", tuple(report.dropped))
+    if victim in report.members:
+        return SafetyViolated(invariant="keyless member kept as member")
+    if victim not in report.dropped:
+        return SafetyViolated(invariant="victim vanished silently")
+    return KeyMismatchDetected(victims=(victim,))
+
+
+@scenario(
+    "service.nonmember-send",
+    layer="service",
+    target="secure-session",
+    attack="a keyless node enqueues a broadcast on the session",
+    expected=AttackRejected(mechanism="membership"),
+)
+def _service_nonmember_send(ctx: ScenarioContext) -> Outcome:
+    net = ctx.network(8, 2, 1)
+    session = SecureSession.from_preshared(
+        net, ctx.group_key(), range(6), rng=ctx.rng.spawn("session")
+    )
+    try:
+        session.send(7, b"intruder")
+    except ConfigurationError:
+        return AttackRejected(mechanism="membership")
+    return SafetyViolated(invariant="non-member send accepted")
+
+
+# ----------------------------------------------------------------------
+# Serve layer: the daemon's request surface (driven through SessionHost
+# synchronously — same dispatcher the daemon wraps)
+# ----------------------------------------------------------------------
+
+_TOKEN = "scenario-client"
+
+
+def _serve_host(ctx: ScenarioContext) -> SessionHost:
+    return SessionHost(seed=ctx.seed)
+
+
+def _aborted(ctx: ScenarioContext, response, code: str) -> Outcome:
+    """Observed outcome of a request that should fail with ``code``."""
+    if isinstance(response, p.Failure):
+        ctx.note("code", response.code)
+        return SessionAborted(code=response.code)
+    ctx.note("response", type(response).__name__)
+    return SafetyViolated(invariant=f"request succeeded, wanted {code!r}")
+
+
+@scenario(
+    "serve.appdata-before-handshake",
+    layer="serve",
+    target="session-host",
+    attack="application data sent before any session was opened",
+    expected=SessionAborted(code="unknown-session"),
+)
+def _serve_appdata_before_handshake(ctx: ScenarioContext) -> Outcome:
+    host = _serve_host(ctx)
+    response = host.handle(
+        _TOKEN, p.SendMessage(name="ghost", sender=0, payload=b"early")
+    )
+    return _aborted(ctx, response, p.UNKNOWN_SESSION)
+
+
+@scenario(
+    "serve.duplicate-open",
+    layer="serve",
+    target="session-host",
+    attack="re-opening a live session name (session fixation)",
+    expected=SessionAborted(code="duplicate-session"),
+)
+def _serve_duplicate_open(ctx: ScenarioContext) -> Outcome:
+    host = _serve_host(ctx)
+    host.handle(_TOKEN, p.OpenSession(name="alpha", n=8))
+    response = host.handle(
+        "other-client", p.OpenSession(name="alpha", n=8)
+    )
+    return _aborted(ctx, response, p.DUPLICATE_SESSION)
+
+
+@scenario(
+    "serve.foreign-sender",
+    layer="serve",
+    target="session-host",
+    attack="a send attributed to a node outside the member set",
+    expected=SessionAborted(code="not-a-member"),
+)
+def _serve_foreign_sender(ctx: ScenarioContext) -> Outcome:
+    host = _serve_host(ctx)
+    host.handle(
+        _TOKEN, p.OpenSession(name="alpha", n=8, members=(0, 1, 2, 3))
+    )
+    response = host.handle(
+        _TOKEN, p.SendMessage(name="alpha", sender=7, payload=b"x")
+    )
+    return _aborted(ctx, response, p.NOT_A_MEMBER)
+
+
+@scenario(
+    "serve.rekey-without-leader",
+    layer="serve",
+    target="session-host",
+    attack="a re-key compromising every possible distributor",
+    expected=SessionAborted(code="rekey-failed"),
+)
+def _serve_rekey_without_leader(ctx: ScenarioContext) -> Outcome:
+    host = _serve_host(ctx)
+    host.handle(_TOKEN, p.OpenSession(name="alpha", n=8))
+    response = host.handle(
+        _TOKEN, p.Rekey(name="alpha", compromised=tuple(range(8)))
+    )
+    return _aborted(ctx, response, p.REKEY_FAILED)
+
+
+@scenario(
+    "serve.flood-backpressure",
+    layer="serve",
+    target="session-host",
+    attack="send flood past the session's bounded queue",
+    expected=SessionAborted(code="busy"),
+)
+def _serve_flood_backpressure(ctx: ScenarioContext) -> Outcome:
+    """The refusal must also be side-effect free: pending stays put."""
+    host = _serve_host(ctx)
+    host.handle(
+        _TOKEN, p.OpenSession(name="alpha", n=8, max_pending=4)
+    )
+    for i in range(4):
+        host.handle(
+            _TOKEN,
+            p.SendMessage(name="alpha", sender=0, payload=b"m%d" % i),
+        )
+    response = host.handle(
+        _TOKEN, p.SendMessage(name="alpha", sender=0, payload=b"flood")
+    )
+    stats = host.handle(_TOKEN, p.SessionStatsReq(name="alpha"))
+    ctx.note("pending", stats.pending)
+    if stats.pending != 4:
+        return SafetyViolated(invariant="refused send had side effects")
+    return _aborted(ctx, response, p.BUSY)
+
+
+@scenario(
+    "serve.former-member-drain",
+    layer="serve",
+    target="session-host",
+    attack="an excluded member draining its inbox post-rekey",
+    expected=SessionAborted(code="former-member"),
+)
+def _serve_former_member_drain(ctx: ScenarioContext) -> Outcome:
+    host = _serve_host(ctx)
+    host.handle(_TOKEN, p.OpenSession(name="alpha", n=6))
+    host.handle(_TOKEN, p.Rekey(name="alpha", compromised=(5,)))
+    response = host.handle(
+        _TOKEN, p.DrainInbox(name="alpha", member=5)
+    )
+    return _aborted(ctx, response, p.FORMER_MEMBER)
+
+
+@scenario(
+    "serve.malformed-flush-budget",
+    layer="serve",
+    target="session-host",
+    attack="well-formed frame with an ill-typed field (max_rounds=str)",
+    expected=SessionAborted(code="bad-request"),
+    description="Decodable-but-ill-typed requests must come back as "
+    "typed bad-request failures, never as raw TypeErrors that would "
+    "kill a daemon loop — the regression the PR 10 handle() catch-all "
+    "fixes.",
+)
+def _serve_malformed_flush_budget(ctx: ScenarioContext) -> Outcome:
+    host = _serve_host(ctx)
+    host.handle(_TOKEN, p.OpenSession(name="alpha", n=8))
+    host.handle(
+        _TOKEN, p.SendMessage(name="alpha", sender=0, payload=b"x")
+    )
+    try:
+        response = host.handle(
+            _TOKEN, p.Flush(name="alpha", max_rounds="soon")
+        )
+    except Exception as exc:  # the pre-fix behaviour: a raw TypeError
+        ctx.note("escaped", type(exc).__name__)
+        return SafetyViolated(invariant="raw exception escaped handle()")
+    return _aborted(ctx, response, p.BAD_REQUEST)
+
+
+@scenario(
+    "serve.shutdown-refuses-opens",
+    layer="serve",
+    target="session-host",
+    attack="opening a session on a host that is shutting down",
+    expected=SessionAborted(code="shutting-down"),
+)
+def _serve_shutdown_refuses_opens(ctx: ScenarioContext) -> Outcome:
+    host = _serve_host(ctx)
+    host.handle(_TOKEN, p.Shutdown())
+    response = host.handle(_TOKEN, p.OpenSession(name="late", n=8))
+    return _aborted(ctx, response, p.SHUTTING_DOWN)

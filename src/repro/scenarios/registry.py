@@ -1,0 +1,180 @@
+"""The declarative attack-scenario registry.
+
+A *scenario* names a target (which protocol layer is under attack), an
+attack (which adversary or injector drives it), and a typed expected
+outcome from :mod:`repro.scenarios.outcomes`.  Registration is a
+decorator over the runner function::
+
+    @scenario(
+        "channel.sender-spoof",
+        layer="channel",
+        target="emulated-channel",
+        attack="frame re-attributed to the receiver's own id",
+        expected=AttackRejected(mechanism="mac-associated-data"),
+    )
+    def _sender_spoof(ctx: ScenarioContext) -> Outcome:
+        ...
+
+Runner functions receive a :class:`ScenarioContext` — the scenario's
+whole universe of randomness hangs off its seed, so the same
+``(name, seed)`` pair replays byte-identically anywhere: the CLI, a
+sweep worker process, or a serve daemon answering a ``RunScenario``
+request.  Lint rule SCN001 enforces that every registration declares a
+non-empty typed ``expected`` outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..adversary import Adversary, NullAdversary
+from ..errors import ScenarioError
+from ..radio.metrics import NetworkMetrics
+from ..radio.network import RadioNetwork
+from ..rng import RngRegistry
+from .outcomes import Outcome
+
+__all__ = [
+    "LAYERS",
+    "Scenario",
+    "ScenarioContext",
+    "SCENARIOS",
+    "scenario",
+    "get_scenario",
+    "scenario_names",
+]
+
+LAYERS = ("channel", "protocol", "service", "serve")
+"""The protocol layers a scenario can target, innermost first."""
+
+
+@dataclass
+class ScenarioContext:
+    """Everything a scenario runner may consume.
+
+    ``rng`` is the only randomness source (DET001/API002 apply to
+    scenario code like any protocol code); networks built through
+    :meth:`network` are recorded so the sweep integration can report
+    merged radio metrics per trial; :meth:`note` accumulates plain
+    ``(key, value)`` detail rows for reports.
+    """
+
+    seed: int
+    rng: RngRegistry = field(init=False)
+    networks: list[RadioNetwork] = field(default_factory=list)
+    detail: list[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.rng = RngRegistry(seed=self.seed)
+
+    def network(
+        self,
+        n: int,
+        channels: int,
+        t: int,
+        adversary: Adversary | None = None,
+        *,
+        keep_trace: bool = False,
+    ) -> RadioNetwork:
+        """Build and record a network (trace kept if the adversary or
+        the scenario itself needs history)."""
+        adversary = adversary or NullAdversary()
+        net = RadioNetwork(
+            n,
+            channels,
+            t,
+            adversary=adversary,
+            keep_trace=keep_trace or adversary.needs_history,
+        )
+        self.networks.append(net)
+        return net
+
+    def group_key(self) -> bytes:
+        """A 32-byte group secret on the context's own stream."""
+        return bytes(self.rng.stream("scenario-group-key").randbytes(32))
+
+    def note(self, key: str, value) -> None:
+        """Record one plain-scalar detail row for the scenario report."""
+        self.detail.append((key, value))
+
+    def metrics(self) -> NetworkMetrics:
+        """Radio metrics merged across every recorded network."""
+        merged = NetworkMetrics()
+        for net in self.networks:
+            merged = merged.merge(net.metrics)
+        return merged
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered attack scenario."""
+
+    name: str
+    layer: str
+    target: str
+    attack: str
+    expected: Outcome
+    run: Callable[[ScenarioContext], Outcome]
+    description: str = ""
+
+
+SCENARIOS: dict[str, Scenario] = {}
+"""Every registered scenario, keyed by name."""
+
+
+def scenario(
+    name: str,
+    *,
+    layer: str,
+    target: str,
+    attack: str,
+    expected: Outcome,
+    description: str = "",
+) -> Callable:
+    """Register a scenario runner (decorator).
+
+    Validates the declaration at import time: a known layer, a unique
+    name, and a non-empty typed expected outcome (the invariant lint
+    rule SCN001 checks statically).
+    """
+    if layer not in LAYERS:
+        raise ScenarioError(
+            f"scenario {name!r}: unknown layer {layer!r}; pick from {LAYERS}"
+        )
+    if not isinstance(expected, Outcome) or not expected.KIND:
+        raise ScenarioError(
+            f"scenario {name!r}: expected outcome must be a typed Outcome, "
+            f"got {expected!r}"
+        )
+    if name in SCENARIOS:
+        raise ScenarioError(f"scenario {name!r} is already registered")
+
+    def register(fn: Callable[[ScenarioContext], Outcome]):
+        SCENARIOS[name] = Scenario(
+            name=name,
+            layer=layer,
+            target=target,
+            attack=attack,
+            expected=expected,
+            run=fn,
+            description=description or (fn.__doc__ or "").strip(),
+        )
+        return fn
+
+    return register
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name; unknown names raise typed."""
+    found = SCENARIOS.get(name)
+    if found is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; pick from {sorted(SCENARIOS)}"
+        )
+    return found
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered names, sorted (the registry's canonical order)."""
+    return tuple(sorted(SCENARIOS))

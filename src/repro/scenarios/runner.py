@@ -1,0 +1,121 @@
+"""Executing scenarios and gauntlets.
+
+:func:`run_scenario` runs one registered scenario at one seed and
+returns a :class:`ScenarioRun` — expected vs observed outcome, matched
+flag, detail rows, merged radio metrics.  :func:`run_gauntlet` runs a
+set of scenarios (default: all of them) and aggregates a
+:class:`GauntletReport` whose :meth:`~GauntletReport.as_dict` is the
+JSON the CLI and CI emit.  Neither reads a clock: the same
+``(names, seed)`` produce byte-identical reports anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..radio.metrics import NetworkMetrics
+from .outcomes import Outcome, classify, encode_outcome
+from .registry import ScenarioContext, get_scenario, scenario_names
+
+__all__ = ["ScenarioRun", "GauntletReport", "run_scenario", "run_gauntlet"]
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One scenario execution's full record."""
+
+    name: str
+    layer: str
+    target: str
+    attack: str
+    seed: int
+    expected: Outcome
+    observed: Outcome
+    detail: tuple[tuple, ...]
+    metrics: NetworkMetrics
+
+    @property
+    def matched(self) -> bool:
+        return self.observed == self.expected
+
+    def as_dict(self) -> dict:
+        """Plain-JSON record (outcomes as encoded rows)."""
+        return {
+            "name": self.name,
+            "layer": self.layer,
+            "target": self.target,
+            "attack": self.attack,
+            "seed": self.seed,
+            "expected": list(encode_outcome(self.expected)),
+            "observed": list(encode_outcome(self.observed)),
+            "expected_class": classify(self.expected),
+            "observed_class": classify(self.observed),
+            "matched": self.matched,
+            "detail": [list(row) for row in self.detail],
+        }
+
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioRun:
+    """Run one scenario at one seed."""
+    scen = get_scenario(name)
+    ctx = ScenarioContext(seed=seed)
+    observed = scen.run(ctx)
+    return ScenarioRun(
+        name=scen.name,
+        layer=scen.layer,
+        target=scen.target,
+        attack=scen.attack,
+        seed=seed,
+        expected=scen.expected,
+        observed=observed,
+        detail=tuple(tuple(row) for row in ctx.detail),
+        metrics=ctx.metrics(),
+    )
+
+
+@dataclass(frozen=True)
+class GauntletReport:
+    """Aggregate of one gauntlet run."""
+
+    seed: int
+    runs: tuple[ScenarioRun, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.runs)
+
+    @property
+    def matched(self) -> int:
+        return sum(1 for run in self.runs if run.matched)
+
+    def mismatched(self) -> tuple[str, ...]:
+        return tuple(run.name for run in self.runs if not run.matched)
+
+    def all_matched(self) -> bool:
+        return self.matched == self.total
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "total": self.total,
+            "matched": self.matched,
+            "mismatched": list(self.mismatched()),
+            "scenarios": {run.name: run.as_dict() for run in self.runs},
+        }
+
+    def summary_line(self) -> str:
+        verdict = "ok" if self.all_matched() else "MISMATCH"
+        return (
+            f"scenario gauntlet: {self.matched}/{self.total} outcomes "
+            f"matched (seed {self.seed}) {verdict}"
+        )
+
+
+def run_gauntlet(
+    names: Sequence[str] | None = None, seed: int = 0
+) -> GauntletReport:
+    """Run ``names`` (default: every registered scenario, sorted)."""
+    chosen = tuple(names) if names is not None else scenario_names()
+    runs = tuple(run_scenario(name, seed=seed) for name in chosen)
+    return GauntletReport(seed=seed, runs=runs)

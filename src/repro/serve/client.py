@@ -185,6 +185,9 @@ class ServiceClient:
     def stats(self, name: str) -> p.SessionStatsInfo:
         return self.request(p.SessionStatsReq(name=name))
 
+    def run_scenario(self, name: str, seed: int = 0) -> p.ScenarioOutcome:
+        return self.request(p.RunScenario(name=name, seed=int(seed)))
+
     def list_sessions(self) -> tuple[str, ...]:
         return self.request(p.ListSessions()).names
 

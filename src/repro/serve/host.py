@@ -24,7 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..adversary import NullAdversary
-from ..errors import ConfigurationError, ReproError, ServiceError
+from ..errors import (
+    ConfigurationError,
+    ReproError,
+    ScenarioError,
+    ServiceError,
+)
 from ..experiments.workloads import make_adversary, make_network
 from ..rng import RngRegistry
 from ..service.session import SecureSession
@@ -340,6 +345,29 @@ class SessionHost:
     def list_sessions(self, token: object, req: p.ListSessions) -> p.SessionList:
         return p.SessionList(names=tuple(sorted(self.sessions)))
 
+    def run_scenario(
+        self, token: object, req: p.RunScenario
+    ) -> p.ScenarioOutcome:
+        # Imported here, not at module top: the scenario catalog attacks
+        # *this* host class, so repro.scenarios imports repro.serve.host
+        # and a module-level import back would be circular.
+        from ..scenarios import encode_outcome
+        from ..scenarios import run_scenario as execute
+
+        try:
+            run = execute(req.name, seed=int(req.seed))
+        except ScenarioError as exc:
+            raise ServiceError(p.BAD_REQUEST, str(exc)) from None
+        return p.ScenarioOutcome(
+            name=run.name,
+            layer=run.layer,
+            seed=run.seed,
+            expected=encode_outcome(run.expected),
+            observed=encode_outcome(run.observed),
+            matched=run.matched,
+            detail=run.detail,
+        )
+
     def shutdown(self, token: object, req: p.Shutdown) -> p.ShuttingDown:
         self.shutting_down = True
         return p.ShuttingDown()
@@ -358,6 +386,7 @@ class SessionHost:
         p.DrainInbox: drain_inbox,
         p.Rekey: rekey,
         p.SessionStatsReq: stats,
+        p.RunScenario: run_scenario,
         p.ListSessions: list_sessions,
         p.Shutdown: shutdown,
     }
@@ -377,3 +406,12 @@ class SessionHost:
             return p.Failure(exc.code, exc.detail)
         except ReproError as exc:
             return p.Failure(p.INTERNAL, f"{type(exc).__name__}: {exc}")
+        except (TypeError, ValueError, KeyError) as exc:
+            # A frame can decode into the right dataclass with ill-typed
+            # fields (max_rounds="soon"); the comparison blows up deep in
+            # a handler.  That is the *client's* malformation, and it
+            # must come back as a typed failure — an escaping TypeError
+            # would kill the daemon's whole select loop.
+            return p.Failure(
+                p.BAD_REQUEST, f"{type(exc).__name__}: {exc}"
+            )

@@ -184,6 +184,23 @@ class SessionStatsReq:
 
 
 @dataclass(frozen=True)
+class RunScenario:
+    """Run one registered attack scenario inside the daemon.
+
+    The scenario is self-contained (it builds its own networks and, for
+    serve-layer attacks, its own synchronous host) and deterministic in
+    ``(name, seed)``, so the daemon-side run is byte-identical to a
+    local ``python -m repro scenario run``.  Unknown names fail
+    ``bad-request``.
+    """
+
+    KIND: ClassVar[str] = "run-scenario"
+
+    name: str
+    seed: int = 0
+
+
+@dataclass(frozen=True)
 class ListSessions:
     """Names of every live session."""
 
@@ -314,6 +331,28 @@ class SessionList:
 
 
 @dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario run's record, outcomes as plain encoded rows.
+
+    ``expected`` and ``observed`` are
+    :func:`repro.scenarios.outcomes.encode_outcome` tuples (kind plus
+    scalar fields) — :func:`~repro.scenarios.outcomes.decode_outcome`
+    rebuilds the typed outcome client-side, so no scenario class ever
+    rides the wire.
+    """
+
+    KIND: ClassVar[str] = "scenario-outcome"
+
+    name: str
+    layer: str
+    seed: int
+    expected: tuple
+    observed: tuple
+    matched: bool
+    detail: tuple[tuple, ...] = ()
+
+
+@dataclass(frozen=True)
 class ShuttingDown:
     KIND: ClassVar[str] = "shutting-down"
 
@@ -335,7 +374,8 @@ REQUEST_TYPES: dict[str, type] = {
     cls.KIND: cls
     for cls in (
         OpenSession, JoinSession, LeaveSession, CloseSession, SendMessage,
-        Flush, DrainInbox, Rekey, SessionStatsReq, ListSessions, Shutdown,
+        Flush, DrainInbox, Rekey, SessionStatsReq, RunScenario,
+        ListSessions, Shutdown,
     )
 }
 
@@ -343,8 +383,8 @@ RESPONSE_TYPES: dict[str, type] = {
     cls.KIND: cls
     for cls in (
         SessionOpened, SessionJoined, SessionLeft, SessionClosed, Sent,
-        Flushed, InboxBatch, RekeyDone, SessionStatsInfo, SessionList,
-        ShuttingDown, Failure,
+        Flushed, InboxBatch, RekeyDone, SessionStatsInfo, ScenarioOutcome,
+        SessionList, ShuttingDown, Failure,
     )
 }
 

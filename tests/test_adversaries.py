@@ -65,9 +65,9 @@ class TestRandomJammer:
         assert len(txs) == 2
 
     def test_invalid_intensity(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             RandomJammer(random.Random(0), intensity=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             RandomJammer(random.Random(0), intensity=1.5)
 
 
@@ -85,7 +85,7 @@ class TestSweepJammer:
         assert {tx.channel for tx in txs} == {3, 0}
 
     def test_stride_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             SweepJammer(stride=0)
 
 
@@ -118,7 +118,7 @@ class TestReactiveJammer:
         assert ReactiveJammer(random.Random(0)).needs_history is True
 
     def test_window_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ReactiveJammer(random.Random(0), window=0)
 
 
@@ -191,7 +191,7 @@ class TestScheduleAwareJammer:
         assert off.act(view(t=2, channels=3, meta=meta)) == ()
 
     def test_unknown_policy_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ScheduleAwareJammer(random.Random(0), policy="nope")
 
     def test_budget_respected_with_wide_schedule(self):

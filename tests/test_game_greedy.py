@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.vertex_cover import vertex_cover_number
+from repro.errors import ConfigurationError
 from repro.game.graph import EdgeItem, GameGraph, NodeItem
 from repro.game.greedy import (
     GreedyPools,
@@ -142,7 +143,7 @@ class TestGreedyProposal:
 
     def test_max_items_below_t_plus_1_rejected(self):
         g = GameGraph.from_pairs([(0, 1)], vertices=range(4))
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             greedy_proposal(g, t=2, max_items=2)
 
 

@@ -401,6 +401,58 @@ class TestApi002:
 
 
 # ----------------------------------------------------------------------
+# SCN001 — scenario registrations declare a typed expected outcome
+# ----------------------------------------------------------------------
+
+
+class TestScn001:
+    def test_registration_without_expected_fires(self):
+        src = """
+        from repro.scenarios import scenario
+
+        @scenario("x.y", layer="channel", target="t", attack="a")
+        def _run(ctx):
+            return None
+        """
+        assert hits(src, "SCN001") == [(3, 1)]
+
+    def test_constant_expected_fires(self):
+        src = """
+        from repro.scenarios.registry import scenario
+
+        @scenario("x.y", layer="channel", target="t", attack="a",
+                  expected=None)
+        def _run(ctx):
+            return None
+        """
+        assert hits(src, "SCN001") == [(4, 19)]
+
+    def test_typed_expected_is_clean(self):
+        src = """
+        from repro.scenarios import scenario
+        from repro.scenarios.outcomes import AttackRejected
+
+        @scenario("x.y", layer="channel", target="t", attack="a",
+                  expected=AttackRejected(mechanism="mac"))
+        def _run(ctx):
+            return AttackRejected(mechanism="mac")
+        """
+        assert hits(src, "SCN001") == []
+
+    def test_tests_exercising_runtime_validation_are_exempt(self):
+        # protocol_only: tests deliberately register invalid scenarios
+        # to pin the registry's own ScenarioError checks.
+        src = """
+        from repro.scenarios import scenario
+
+        @scenario("x.y", layer="channel", target="t", attack="a")
+        def _run(ctx):
+            return None
+        """
+        assert hits(src, "SCN001", module="tests.test_x") == []
+
+
+# ----------------------------------------------------------------------
 # Pragmas and meta rules
 # ----------------------------------------------------------------------
 
